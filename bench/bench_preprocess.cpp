@@ -1,0 +1,78 @@
+// Substrate extension bench: does SatELite-style preprocessing pay off on
+// exported layout-synthesis instances? Exports the bit-blasted CNF of each
+// instance (the paper's Solver.sexpr() analog), then compares solving the
+// raw CNF against preprocess-then-solve in a fresh solver each way.
+#include "bench/common.h"
+#include "bengen/workloads.h"
+#include "circuit/dependency.h"
+#include "device/presets.h"
+#include "layout/model.h"
+#include "sat/preprocess.h"
+
+int main() {
+  using namespace olsq2;
+  using namespace olsq2::bench;
+
+  const double budget = case_budget_ms();
+  std::cout << "=== Preprocessing ablation on exported layout instances ===\n"
+            << "(satisfiable depth-horizon instances; fresh solver per "
+               "column; budget "
+            << budget / 1000.0 << "s per cell)\n\n";
+  Table table({"instance", "vars/clauses", "direct", "pre+solve", "shrink"},
+              16);
+
+  struct Case {
+    circuit::Circuit circ;
+    device::Device dev;
+    int sd;
+  };
+  std::vector<Case> cases;
+  cases.push_back({bengen::qaoa_3regular(8, 1), device::grid(3, 3), 1});
+  cases.push_back({bengen::qaoa_3regular(10, 1), device::grid(4, 4), 1});
+  cases.push_back({bengen::qft(4), device::ibm_qx2(), 3});
+
+  for (const Case& c : cases) {
+    const layout::Problem problem{&c.circ, &c.dev, c.sd};
+    const circuit::DependencyGraph deps(c.circ);
+    const int horizon = deps.default_upper_bound() + 2;
+
+    // Export the CNF once.
+    layout::Model exporter(problem, horizon, {}, nullptr, /*log_clauses=*/true);
+    const int num_vars = exporter.solver().num_vars();
+    const auto& cnf = exporter.solver().clause_log();
+
+    auto solve_cnf = [&](const std::vector<sat::Clause>& clauses,
+                         int vars) -> double {
+      sat::Solver s;
+      for (int i = 0; i < vars; ++i) s.new_var();
+      for (const auto& clause : clauses) s.add_clause(clause);
+      s.set_time_budget(std::chrono::milliseconds(
+          static_cast<std::int64_t>(budget)));
+      const double t0 = now_ms();
+      const auto status = s.solve();
+      const double ms = now_ms() - t0;
+      return status == sat::LBool::kUndef ? -1.0 : ms;
+    };
+
+    const double direct_ms = solve_cnf(cnf, num_vars);
+
+    const double t0 = now_ms();
+    sat::Preprocessor pre;
+    std::string shrink = "-";
+    double combined_ms = -1.0;
+    if (pre.run(num_vars, cnf)) {
+      const double solve_ms = solve_cnf(pre.clauses(), num_vars);
+      if (solve_ms >= 0) combined_ms = (now_ms() - t0);
+      std::ostringstream s;
+      s << cnf.size() << "->" << pre.clauses().size();
+      shrink = s.str();
+    }
+
+    table.print_row({c.circ.label() + "@" + c.dev.name(),
+                     std::to_string(num_vars) + "/" +
+                         std::to_string(cnf.size()),
+                     fmt_ms(direct_ms, direct_ms < 0),
+                     fmt_ms(combined_ms, combined_ms < 0), shrink});
+  }
+  return 0;
+}

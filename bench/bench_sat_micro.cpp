@@ -1,0 +1,131 @@
+// Google-benchmark microbenchmarks for the substrate: CDCL solver on
+// classic instance families and CNF sizes of the cardinality encodings.
+// These do not map to a paper table; they characterize the engine all the
+// table-level benches run on.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "encode/cardinality.h"
+#include "encode/cnf.h"
+#include "encode/totalizer.h"
+#include "sat/solver.h"
+
+namespace {
+
+using namespace olsq2;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+void add_pigeonhole(Solver& s, int pigeons, int holes) {
+  std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+  for (auto& row : p) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < holes; ++j) clause.push_back(Lit::pos(p[i][j]));
+    s.add_clause(clause);
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i = 0; i < pigeons; ++i) {
+      for (int k = i + 1; k < pigeons; ++k) {
+        s.add_clause({Lit::neg(p[i][j]), Lit::neg(p[k][j])});
+      }
+    }
+  }
+}
+
+void BM_PigeonholeUnsat(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Solver s;
+    add_pigeonhole(s, holes + 1, holes);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_PigeonholeUnsat)->Arg(5)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_Random3SatNearThreshold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(n * 4.2);
+  for (auto _ : state) {
+    std::mt19937 rng(7);
+    Solver s;
+    for (int i = 0; i < n; ++i) s.new_var();
+    for (int c = 0; c < m; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.emplace_back(static_cast<Var>(rng() % n), (rng() & 1) != 0);
+      }
+      s.add_clause(clause);
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_Random3SatNearThreshold)->Arg(50)->Arg(100)->Arg(150);
+
+template <typename EncodeFn>
+void cardinality_size(benchmark::State& state, EncodeFn&& encode) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = n / 3;
+  std::int64_t clauses = 0;
+  for (auto _ : state) {
+    Solver s;
+    encode::CnfBuilder b(s);
+    std::vector<Lit> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(b.new_lit());
+    encode(b, xs, k);
+    clauses = s.num_clauses();
+    benchmark::DoNotOptimize(clauses);
+  }
+  state.counters["clauses"] = static_cast<double>(clauses);
+}
+
+void BM_SeqCounterSize(benchmark::State& state) {
+  cardinality_size(state, [](encode::CnfBuilder& b, std::vector<Lit>& xs,
+                             int k) { encode::at_most_k_seqcounter(b, xs, k); });
+}
+BENCHMARK(BM_SeqCounterSize)->Arg(30)->Arg(90)->Arg(270);
+
+void BM_TotalizerSize(benchmark::State& state) {
+  cardinality_size(state, [](encode::CnfBuilder& b, std::vector<Lit>& xs,
+                             int k) {
+    encode::Totalizer tot(b, xs);
+    tot.assert_leq(b, k);
+  });
+}
+BENCHMARK(BM_TotalizerSize)->Arg(30)->Arg(90)->Arg(270);
+
+void BM_AdderSize(benchmark::State& state) {
+  cardinality_size(state, [](encode::CnfBuilder& b, std::vector<Lit>& xs,
+                             int k) { encode::at_most_k_adder(b, xs, k); });
+}
+BENCHMARK(BM_AdderSize)->Arg(30)->Arg(90)->Arg(270);
+
+void BM_IncrementalTotalizerDescent(benchmark::State& state) {
+  // The SWAP-descent access pattern: one solver, bound tightened by
+  // assumptions only.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Solver s;
+    encode::CnfBuilder b(s);
+    std::vector<Lit> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(b.new_lit());
+    encode::at_least_k_seqcounter(b, xs, n / 4);
+    encode::Totalizer tot(b, xs);
+    int k = n;
+    while (k >= 0) {
+      const std::vector<Lit> assume = {tot.bound_leq(b, k)};
+      if (s.solve(assume) != sat::LBool::kTrue) break;
+      k--;
+    }
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_IncrementalTotalizerDescent)->Arg(24)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Extension bench: windowed hybrid synthesis on instances beyond
+// whole-circuit exact reach (the paper's §V scalability frontier).
+// Sweeps the window size on dense QAOA instances and compares against
+// SABRE and the per-layer SATMap-style slicer: larger windows buy quality,
+// one window = full TB-OLSQ2 (which times out here).
+#include "bench/common.h"
+#include "bengen/workloads.h"
+#include "device/presets.h"
+#include "layout/windowed.h"
+#include "sabre/sabre.h"
+#include "satmap/satmap.h"
+
+int main() {
+  using namespace olsq2;
+  using namespace olsq2::bench;
+
+  const double budget = case_budget_ms();
+  std::cout << "=== Windowed hybrid synthesis: window size vs quality ===\n"
+            << "(SWAP counts; whole = one window = full TB-OLSQ2; budget "
+            << budget / 1000.0 << "s per run)\n\n";
+  Table table({"instance", "SABRE", "slicer", "win=6", "win=12", "whole"},
+              13);
+
+  struct Case {
+    circuit::Circuit circ;
+    device::Device dev;
+    int sd;
+  };
+  std::vector<Case> cases;
+  cases.push_back({bengen::qaoa_3regular(12, 1), device::rigetti_aspen4(), 1});
+  cases.push_back({bengen::qaoa_3regular(16, 1), device::rigetti_aspen4(), 1});
+  cases.push_back({bengen::qaoa_3regular(16, 1), device::ibm_tokyo20(), 1});
+
+  for (const Case& c : cases) {
+    const layout::Problem problem{&c.circ, &c.dev, c.sd};
+    const sabre::SabreResult s = sabre::route(problem);
+    satmap::SatmapOptions slicer;
+    slicer.time_budget_ms = budget;
+    const satmap::SatmapResult m = satmap::route(problem, slicer);
+
+    auto windowed_cell = [&](int gates_per_window) -> std::string {
+      layout::WindowedOptions options;
+      options.gates_per_window = gates_per_window;
+      options.time_budget_ms = budget;
+      const layout::WindowedResult r =
+          layout::synthesize_windowed_swap(problem, options);
+      return r.solved ? std::to_string(r.swap_count) : "TO";
+    };
+
+    table.print_row({c.circ.label() + "@" + c.dev.name(),
+                     std::to_string(s.swap_count),
+                     m.solved ? std::to_string(m.swap_count) : "TO",
+                     windowed_cell(6), windowed_cell(12),
+                     windowed_cell(100000)});
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the paper-table benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper at
+// laptop scale: same workload families and sweep axes, smaller instances
+// and time budgets (see EXPERIMENTS.md). Budgets can be scaled with the
+// OLSQ2_BENCH_BUDGET_MS environment variable.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace olsq2::bench {
+
+/// Per-case solver budget in milliseconds (default 30 s).
+inline double case_budget_ms() {
+  if (const char* env = std::getenv("OLSQ2_BENCH_BUDGET_MS")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 30000.0;
+}
+
+inline double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Fixed-width table printer matching the paper's row layout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : columns_(headers.size()), width_(width) {
+    print_row(headers);
+    std::string rule;
+    for (std::size_t i = 0; i < columns_; ++i) rule += std::string(width_, '-');
+    std::cout << rule << "\n";
+  }
+
+  void print_row(const std::vector<std::string>& cells) {
+    std::cout << std::left;
+    for (const auto& cell : cells) std::cout << std::setw(width_) << cell;
+    std::cout << "\n" << std::flush;
+  }
+
+ private:
+  std::size_t columns_;
+  int width_;
+};
+
+inline std::string fmt_ms(double ms, bool timed_out) {
+  if (timed_out) return "TO";
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2) << ms / 1000.0 << "s";
+  return out.str();
+}
+
+inline std::string fmt_ratio(double r) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2) << r << "x";
+  return out.str();
+}
+
+}  // namespace olsq2::bench

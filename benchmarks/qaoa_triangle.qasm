@@ -1,0 +1,8 @@
+// Minimal QAOA phase-splitting layer for the triangle graph K3: the
+// smallest instance that forces a SWAP on a line device.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+rzz(0.7) q[0], q[1];
+rzz(0.7) q[1], q[2];
+rzz(0.7) q[0], q[2];

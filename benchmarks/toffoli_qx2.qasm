@@ -1,0 +1,24 @@
+// The paper's running example (Fig. 2): Toffoli via the standard 15-gate
+// Clifford+T network. Target: IBM QX2 (Fig. 3).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[2];
+cx q[1], q[2];
+tdg q[2];
+cx q[0], q[2];
+t q[2];
+cx q[1], q[2];
+tdg q[2];
+cx q[0], q[2];
+t q[1];
+t q[2];
+h q[2];
+cx q[0], q[1];
+t q[0];
+tdg q[1];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];

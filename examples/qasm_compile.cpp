@@ -1,0 +1,86 @@
+// Command-line compiler: read an OpenQASM 2.0 circuit, pick a target device
+// and objective, and emit the routed circuit as OpenQASM.
+//
+//   $ ./qasm_compile <file.qasm> [device] [objective] [budget_ms]
+//     device:    qx2 | aspen4 | sycamore | eagle | grid<R>x<C>   (default qx2)
+//     objective: depth | swap                                   (default depth)
+//
+// Exit code 0 on success with a verified result.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "device/presets.h"
+#include "layout/export.h"
+#include "layout/olsq2.h"
+#include "layout/verifier.h"
+#include "qasm/parser.h"
+#include "qasm/writer.h"
+
+namespace {
+
+olsq2::device::Device device_by_name(const std::string& name) {
+  using namespace olsq2::device;
+  if (name == "qx2") return ibm_qx2();
+  if (name == "aspen4") return rigetti_aspen4();
+  if (name == "sycamore") return google_sycamore54();
+  if (name == "eagle") return ibm_eagle127();
+  if (name == "guadalupe") return ibm_guadalupe16();
+  if (name == "tokyo") return ibm_tokyo20();
+  if (name.rfind("grid", 0) == 0) {
+    const auto x = name.find('x');
+    if (x != std::string::npos) {
+      const int rows = std::atoi(name.substr(4, x - 4).c_str());
+      const int cols = std::atoi(name.substr(x + 1).c_str());
+      if (rows >= 1 && cols >= 1) return grid(rows, cols);
+    }
+  }
+  throw std::runtime_error("unknown device: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace olsq2;
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0]
+              << " <file.qasm> [device] [depth|swap] [budget_ms]\n";
+    return 2;
+  }
+  try {
+    const circuit::Circuit circ = qasm::parse_file(argv[1]);
+    const device::Device dev = device_by_name(argc > 2 ? argv[2] : "qx2");
+    const std::string objective = argc > 3 ? argv[3] : "depth";
+    layout::OptimizerOptions options;
+    options.time_budget_ms = argc > 4 ? std::atof(argv[4]) : 60000.0;
+
+    if (circ.num_qubits() > dev.num_qubits()) {
+      std::cerr << "circuit needs " << circ.num_qubits()
+                << " qubits but device has " << dev.num_qubits() << "\n";
+      return 2;
+    }
+
+    const layout::Problem problem{&circ, &dev, /*swap_duration=*/3};
+    const layout::Result result =
+        objective == "swap"
+            ? layout::synthesize_swap_optimal(problem, {}, options)
+            : layout::synthesize_depth_optimal(problem, {}, options);
+
+    if (!result.solved) {
+      std::cerr << "no solution within budget\n";
+      return 1;
+    }
+    const layout::Verdict verdict = layout::verify(problem, result);
+    if (!verdict.ok) {
+      std::cerr << "internal error: result failed verification\n";
+      for (const auto& e : verdict.errors) std::cerr << "  " << e << "\n";
+      return 1;
+    }
+    std::cerr << layout::format_result(problem, result);
+    std::cout << qasm::write(layout::to_physical_circuit(problem, result));
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,40 @@
+// A*-based layout synthesis in the style of Zulehner & Wille (ASP-DAC'19),
+// the depth-partitioning heuristic family the paper cites as [10].
+//
+// The circuit is partitioned into ASAP dependency layers; for each layer
+// whose two-qubit gates are not all executable, an A* search over SWAP
+// insertions finds a minimal SWAP sequence making the whole layer
+// executable. The per-layer optimality is exactly the "greedy partition"
+// weakness the paper points out: locally-minimal SWAP choices are globally
+// suboptimal, which our tests and benches demonstrate against TB-OLSQ2.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+#include "device/device.h"
+#include "layout/types.h"
+
+namespace olsq2::astar {
+
+struct AstarOptions {
+  /// Cap on A* node expansions per layer before falling back to a greedy
+  /// SWAP choice (guards worst-case exponential blowup).
+  int max_expansions = 200000;
+  /// Initial mapping seed (identity permutation shuffled).
+  std::uint64_t seed = 11;
+};
+
+struct AstarResult {
+  std::vector<int> initial_mapping;  // program qubit -> physical qubit
+  std::vector<int> final_mapping;
+  int swap_count = 0;
+  int depth = 0;  // ASAP depth of the routed circuit (SWAP = swap_duration)
+  circuit::Circuit routed;  // physical-qubit circuit with "swap" gates
+  /// Layers that exceeded max_expansions and used the greedy fallback.
+  int greedy_fallbacks = 0;
+};
+
+AstarResult route(const layout::Problem& problem, const AstarOptions& options = {});
+
+}  // namespace olsq2::astar

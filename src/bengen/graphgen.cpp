@@ -1,0 +1,40 @@
+#include "bengen/graphgen.h"
+
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace olsq2::bengen {
+
+std::vector<std::pair<int, int>> random_regular_graph(int n, int d, Rng& rng) {
+  assert(d < n);
+  assert((n * d) % 2 == 0);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (int v = 0; v < n; ++v) {
+      for (int k = 0; k < d; ++k) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    std::set<std::pair<int, int>> seen;
+    std::vector<std::pair<int, int>> edges;
+    bool ok = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      int u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      if (!seen.insert({u, v}).second) {
+        ok = false;
+        break;
+      }
+      edges.emplace_back(u, v);
+    }
+    if (ok) return edges;
+  }
+  throw std::runtime_error("random_regular_graph: rejection limit exceeded");
+}
+
+}  // namespace olsq2::bengen

@@ -1,0 +1,17 @@
+// Random regular graph generation (configuration model), replacing the
+// paper's use of networkx random_regular_graph for QAOA benchmarks.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "bengen/rng.h"
+
+namespace olsq2::bengen {
+
+/// Simple random d-regular graph on n vertices via the configuration model
+/// with rejection (no self-loops, no parallel edges). Requires n*d even and
+/// d < n.
+std::vector<std::pair<int, int>> random_regular_graph(int n, int d, Rng& rng);
+
+}  // namespace olsq2::bengen

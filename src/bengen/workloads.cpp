@@ -1,0 +1,284 @@
+#include "bengen/workloads.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "bengen/graphgen.h"
+
+namespace olsq2::bengen {
+
+using circuit::Circuit;
+
+Circuit qaoa_3regular(int n, std::uint64_t seed) {
+  assert(n % 2 == 0);
+  Rng rng(seed);
+  const auto edges = random_regular_graph(n, 3, rng);
+  Circuit c(n, "QAOA");
+  for (const auto& [u, v] : edges) c.add_gate("zz", u, v);
+  return c;
+}
+
+namespace {
+
+// One scheduled gate inside a QUEKO layer, in *physical* qubit ids.
+struct PhysGate {
+  int p0;
+  int p1;  // -1 for single-qubit
+};
+
+}  // namespace
+
+Circuit queko(const device::Device& dev, const QuekoSpec& spec) {
+  const int n = dev.num_qubits();
+  const int depth = spec.depth;
+  if (depth < 1) throw std::invalid_argument("queko: depth must be >= 1");
+  const int target =
+      spec.gate_count > 0 ? spec.gate_count : depth;  // backbone only
+  if (target < depth) {
+    throw std::invalid_argument("queko: gate_count below backbone length");
+  }
+
+  Rng rng(spec.seed);
+  std::vector<std::vector<PhysGate>> layers(depth);
+  std::vector<std::vector<bool>> busy(depth, std::vector<bool>(n, false));
+  int total = 0;
+
+  // Backbone: a chain of gates sharing one walking qubit, forcing the
+  // dependency chain (and hence the optimal depth) to be exactly `depth`.
+  int walker = rng.below_int(n);
+  for (int t = 0; t < depth; ++t) {
+    const auto& nbrs = dev.neighbors(walker);
+    const bool two_qubit = !nbrs.empty() && rng.chance(0.7);
+    if (two_qubit) {
+      const int nb = nbrs[rng.below_int(static_cast<int>(nbrs.size()))];
+      layers[t].push_back({walker, nb});
+      busy[t][walker] = busy[t][nb] = true;
+      walker = nb;  // the next backbone gate shares this qubit
+    } else {
+      layers[t].push_back({walker, -1});
+      busy[t][walker] = true;
+    }
+    total++;
+  }
+
+  // Fill: add gates on idle physical qubits (two-qubit ones only across
+  // device edges) until the target count is reached.
+  int stall = 0;
+  while (total < target) {
+    if (++stall > 100000) {
+      throw std::runtime_error("queko: cannot reach requested gate count");
+    }
+    const int t = rng.below_int(depth);
+    const int p = rng.below_int(n);
+    if (busy[t][p]) continue;
+    if (rng.chance(spec.two_qubit_fraction)) {
+      // Try to find a free neighbor for a two-qubit gate.
+      std::vector<int> free_nbrs;
+      for (const int nb : dev.neighbors(p)) {
+        if (!busy[t][nb]) free_nbrs.push_back(nb);
+      }
+      if (!free_nbrs.empty()) {
+        const int nb = free_nbrs[rng.below_int(static_cast<int>(free_nbrs.size()))];
+        layers[t].push_back({p, nb});
+        busy[t][p] = busy[t][nb] = true;
+        total++;
+        stall = 0;
+        continue;
+      }
+    }
+    layers[t].push_back({p, -1});
+    busy[t][p] = true;
+    total++;
+    stall = 0;
+  }
+
+  // Scramble physical ids into program-qubit labels so the optimal mapping
+  // is hidden from the synthesizer.
+  std::vector<int> label(n);
+  for (int i = 0; i < n; ++i) label[i] = i;
+  rng.shuffle(label);
+
+  Circuit c(n, "QUEKO");
+  for (int t = 0; t < depth; ++t) {
+    for (const PhysGate& g : layers[t]) {
+      if (g.p1 >= 0) {
+        c.add_gate("cx", label[g.p0], label[g.p1]);
+      } else {
+        c.add_gate("x", label[g.p0]);
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+
+// Controlled-phase via {p, cx, p, cx, p}: 2 two-qubit + 3 single-qubit gates.
+void add_cp(Circuit& c, int control, int target, const std::string& angle) {
+  c.add_gate("p", control, angle);
+  c.add_gate("cx", control, target);
+  c.add_gate("p", target, "-" + angle);
+  c.add_gate("cx", control, target);
+  c.add_gate("p", target, angle);
+}
+
+// Standard 15-gate Clifford+T Toffoli network (paper Fig. 2).
+void add_toffoli(Circuit& c, int a, int b, int t) {
+  c.add_gate("h", t);
+  c.add_gate("cx", b, t);
+  c.add_gate("tdg", t);
+  c.add_gate("cx", a, t);
+  c.add_gate("t", t);
+  c.add_gate("cx", b, t);
+  c.add_gate("tdg", t);
+  c.add_gate("cx", a, t);
+  c.add_gate("t", b);
+  c.add_gate("t", t);
+  c.add_gate("h", t);
+  c.add_gate("cx", a, b);
+  c.add_gate("t", a);
+  c.add_gate("tdg", b);
+  c.add_gate("cx", a, b);
+}
+
+// Controlled-V (square root of X up to phase) as 2 CNOTs + 3 phases.
+void add_cv(Circuit& c, int control, int target, bool dagger) {
+  const std::string angle = dagger ? "-pi/4" : "pi/4";
+  c.add_gate("p", target, angle);
+  c.add_gate("cx", control, target);
+  c.add_gate("p", target, dagger ? "pi/4" : "-pi/4");
+  c.add_gate("cx", control, target);
+  c.add_gate("p", control, angle);
+}
+
+// Barenco et al. Toffoli: V on (b,t), CX(a,b), V~ on (b,t), CX(a,b), V on (a,t).
+void add_barenco_toffoli(Circuit& c, int a, int b, int t) {
+  add_cv(c, b, t, /*dagger=*/false);
+  c.add_gate("cx", a, b);
+  add_cv(c, b, t, /*dagger=*/true);
+  c.add_gate("cx", a, b);
+  add_cv(c, a, t, /*dagger=*/false);
+}
+
+// V-chain multi-controlled X over controls c0..c_{n-1} with n-2 ancillas.
+// Calls `toffoli(a, b, target)` for every Toffoli in the ladder.
+template <typename ToffoliFn>
+Circuit tof_ladder(int n, const std::string& name, ToffoliFn&& toffoli) {
+  assert(n >= 3);
+  const int qubits = 2 * n - 1;  // n controls, n-2 ancillas, 1 target
+  Circuit c(qubits, name);
+  const auto control = [](int i) { return i; };
+  const auto ancilla = [n](int i) { return n + i; };
+  const int target = 2 * n - 2;
+  // Compute phase.
+  toffoli(c, control(0), control(1), ancilla(0));
+  for (int i = 0; i < n - 3; ++i) {
+    toffoli(c, control(i + 2), ancilla(i), ancilla(i + 1));
+  }
+  // Final flip.
+  toffoli(c, control(n - 1), ancilla(n - 3), target);
+  // Uncompute phase.
+  for (int i = n - 4; i >= 0; --i) {
+    toffoli(c, control(i + 2), ancilla(i), ancilla(i + 1));
+  }
+  toffoli(c, control(0), control(1), ancilla(0));
+  return c;
+}
+
+}  // namespace
+
+Circuit qft(int n) {
+  Circuit c(n, "QFT");
+  for (int i = 0; i < n; ++i) {
+    c.add_gate("h", i);
+    for (int j = i + 1; j < n; ++j) {
+      add_cp(c, j, i, "pi/" + std::to_string(1 << (j - i)));
+    }
+  }
+  return c;
+}
+
+Circuit tof(int n) {
+  return tof_ladder(n, "tof_" + std::to_string(n),
+                    [](Circuit& c, int a, int b, int t) { add_toffoli(c, a, b, t); });
+}
+
+Circuit barenco_tof(int n) {
+  return tof_ladder(n, "barenco_tof_" + std::to_string(n),
+                    [](Circuit& c, int a, int b, int t) {
+                      add_barenco_toffoli(c, a, b, t);
+                    });
+}
+
+Circuit ghz(int n) {
+  assert(n >= 2);
+  Circuit c(n, "GHZ");
+  c.add_gate("h", 0);
+  for (int q = 0; q + 1 < n; ++q) c.add_gate("cx", q, q + 1);
+  return c;
+}
+
+Circuit bernstein_vazirani(int n, std::uint64_t secret) {
+  assert(n >= 1 && n <= 63);
+  Circuit c(n + 1, "BV");
+  const int ancilla = n;
+  c.add_gate("x", ancilla);
+  c.add_gate("h", ancilla);
+  for (int q = 0; q < n; ++q) c.add_gate("h", q);
+  for (int q = 0; q < n; ++q) {
+    if ((secret >> q) & 1) c.add_gate("cx", q, ancilla);
+  }
+  for (int q = 0; q < n; ++q) c.add_gate("h", q);
+  c.add_gate("h", ancilla);
+  return c;
+}
+
+Circuit cuccaro_adder(int n) {
+  assert(n >= 1);
+  // Qubit layout: cin = 0, a_i = 1 + i, b_i = 1 + n + i, cout = 2n + 1.
+  Circuit c(2 * n + 2, "adder");
+  const int cin = 0;
+  const auto a = [n](int i) {
+    assert(i < n);
+    return 1 + i;
+  };
+  const auto b = [n](int i) {
+    assert(i < n);
+    return 1 + n + i;
+  };
+  const int cout = 2 * n + 1;
+
+  const auto maj = [&c](int x, int y, int z) {
+    c.add_gate("cx", z, y);
+    c.add_gate("cx", z, x);
+    add_toffoli(c, x, y, z);
+  };
+  const auto uma = [&c](int x, int y, int z) {
+    add_toffoli(c, x, y, z);
+    c.add_gate("cx", z, x);
+    c.add_gate("cx", x, y);
+  };
+
+  maj(cin, b(0), a(0));
+  for (int i = 1; i < n; ++i) maj(a(i - 1), b(i), a(i));
+  c.add_gate("cx", a(n - 1), cout);
+  for (int i = n - 1; i >= 1; --i) uma(a(i - 1), b(i), a(i));
+  uma(cin, b(0), a(0));
+  return c;
+}
+
+Circuit ising(int n, int rounds) {
+  Circuit c(n, "ising_" + std::to_string(n));
+  for (int r = 0; r < rounds; ++r) {
+    for (int q = 0; q < n; ++q) c.add_gate("rz", q, "0.35");
+    for (int q = 0; q + 1 < n; ++q) {
+      c.add_gate("cx", q, q + 1);
+      c.add_gate("rz", q + 1, "0.7");
+      c.add_gate("cx", q, q + 1);
+    }
+  }
+  return c;
+}
+
+}  // namespace olsq2::bengen

@@ -1,0 +1,63 @@
+// Benchmark circuit generators mirroring the paper's evaluation suite
+// (§IV): QAOA phase-splitting circuits on random 3-regular graphs, QUEKO
+// known-optimal circuits, and Qiskit-style arithmetic circuits (QFT,
+// Toffoli ladders, Barenco Toffoli ladders, Ising chains).
+//
+// Gate counts of the arithmetic circuits depend on the chosen gate
+// decompositions; ours are the standard textbook ones, so absolute counts
+// differ slightly from the paper's Qiskit exports while the circuit family,
+// qubit counts, and structure match (see DESIGN.md substitution table).
+#pragma once
+
+#include "bengen/rng.h"
+#include "circuit/circuit.h"
+#include "device/device.h"
+
+namespace olsq2::bengen {
+
+/// QAOA phase-splitting operator for a random 3-regular graph on n vertices:
+/// one ZZ interaction per graph edge, 3n/2 two-qubit gates total (n even).
+circuit::Circuit qaoa_3regular(int n, std::uint64_t seed);
+
+/// QUEKO benchmark (Tan & Cong, TC'20): a circuit generated *on* the given
+/// device with known optimal depth and zero required SWAPs.
+struct QuekoSpec {
+  int depth = 5;                  // known-optimal depth T
+  int gate_count = 0;             // total gates (0 = backbone only)
+  double two_qubit_fraction = 0.5;  // fill mix
+  std::uint64_t seed = 1;
+};
+circuit::Circuit queko(const device::Device& dev, const QuekoSpec& spec);
+
+/// Quantum Fourier transform on n qubits; controlled-phase gates are
+/// decomposed into {p, cx, p, cx, p}.
+circuit::Circuit qft(int n);
+
+/// n-controlled Toffoli ladder over 2n-1 qubits (tof_n in the paper's
+/// suite), each Toffoli expanded to the standard 15-gate Clifford+T network
+/// (paper Fig. 2).
+circuit::Circuit tof(int n);
+
+/// Barenco-style Toffoli ladder (barenco_tof_n): same qubit layout, with
+/// the denser Barenco decomposition per Toffoli.
+circuit::Circuit barenco_tof(int n);
+
+/// Transverse-field Ising model circuit on an n-qubit chain with the given
+/// number of Trotter rounds; each round is rz on every qubit followed by a
+/// cx-rz-cx ZZ interaction along the chain (ising_n in the paper's suite).
+circuit::Circuit ising(int n, int rounds);
+
+/// GHZ state preparation: H on qubit 0 followed by a CNOT ladder. The
+/// canonical "long dependency chain, zero parallelism" stress shape.
+circuit::Circuit ghz(int n);
+
+/// Bernstein-Vazirani circuit for an n-bit secret (bit i of `secret` set =>
+/// CNOT from qubit i onto the ancilla qubit n). Star-shaped interaction -
+/// the worst case for sparse devices.
+circuit::Circuit bernstein_vazirani(int n, std::uint64_t secret);
+
+/// Cuccaro ripple-carry adder on two n-bit registers plus carry-in/out:
+/// 2n + 2 qubits, MAJ/UMA ladders of CNOT and Toffoli (15-gate network).
+circuit::Circuit cuccaro_adder(int n);
+
+}  // namespace olsq2::bengen

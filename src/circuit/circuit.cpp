@@ -1,0 +1,30 @@
+#include "circuit/circuit.h"
+
+#include <cassert>
+
+namespace olsq2::circuit {
+
+int Circuit::num_two_qubit_gates() const {
+  int count = 0;
+  for (const Gate& g : gates_) count += g.is_two_qubit() ? 1 : 0;
+  return count;
+}
+
+void Circuit::add_gate(std::string name, int q, std::string params) {
+  assert(q >= 0 && q < num_qubits_);
+  gates_.push_back(Gate{std::move(name), q, -1, std::move(params)});
+}
+
+void Circuit::add_gate(std::string name, int q0, int q1, std::string params) {
+  assert(q0 >= 0 && q0 < num_qubits_);
+  assert(q1 >= 0 && q1 < num_qubits_);
+  assert(q0 != q1);
+  gates_.push_back(Gate{std::move(name), q0, q1, std::move(params)});
+}
+
+std::string Circuit::label() const {
+  return name_ + "(" + std::to_string(num_qubits_) + "/" +
+         std::to_string(num_gates()) + ")";
+}
+
+}  // namespace olsq2::circuit

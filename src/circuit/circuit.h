@@ -1,0 +1,47 @@
+// Quantum program: an ordered list of gates over program qubits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace olsq2::circuit {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int num_qubits, std::string name = "circuit")
+      : name_(std::move(name)), num_qubits_(num_qubits) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  int num_qubits() const { return num_qubits_; }
+  /// Grow the qubit count (used by the QASM parser on qreg declarations).
+  void ensure_qubits(int n) {
+    if (n > num_qubits_) num_qubits_ = n;
+  }
+
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(int i) const { return gates_[i]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  int num_two_qubit_gates() const;
+  int num_single_qubit_gates() const { return num_gates() - num_two_qubit_gates(); }
+
+  /// Append a single-qubit gate.
+  void add_gate(std::string name, int q, std::string params = "");
+  /// Append a two-qubit gate.
+  void add_gate(std::string name, int q0, int q1, std::string params = "");
+
+  /// Short "name(q/g)" label used in result tables, e.g. "QAOA(16/24)".
+  std::string label() const;
+
+ private:
+  std::string name_ = "circuit";
+  int num_qubits_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace olsq2::circuit

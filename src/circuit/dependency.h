@@ -1,0 +1,45 @@
+// Gate dependency analysis (paper §II-A constraint 2 and §III-A1).
+//
+// Two gates that act on a shared program qubit must execute in program
+// order. The dependency list D holds the immediate (per-qubit predecessor)
+// pairs; the longest chain through the DAG gives the depth lower bound
+// T_LB, and T_UB = ceil(1.5 * T_LB) is the paper's empirically sufficient
+// upper bound for variable construction.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace olsq2::circuit {
+
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const Circuit& c);
+
+  /// Immediate dependencies: (earlier gate index, later gate index).
+  const std::vector<std::pair<int, int>>& pairs() const { return pairs_; }
+
+  /// Longest dependency chain length, in gates (= depth lower bound T_LB
+  /// when every gate takes one time step).
+  int longest_chain() const { return longest_chain_; }
+
+  /// Paper's default upper bound: ceil(1.5 * T_LB), floored at T_LB + 1.
+  int default_upper_bound() const;
+
+  /// Chain length ending at each gate (1-based): depth_[g] in [1, T_LB].
+  int chain_depth(int gate) const { return depth_[gate]; }
+
+  /// ASAP layering: gates grouped by chain_depth - 1. Used by the
+  /// transition-based model and the SATMap-style slicer.
+  std::vector<std::vector<int>> asap_layers() const;
+
+ private:
+  int num_gates_;
+  std::vector<std::pair<int, int>> pairs_;
+  std::vector<int> depth_;
+  int longest_chain_ = 0;
+};
+
+}  // namespace olsq2::circuit

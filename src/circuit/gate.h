@@ -1,0 +1,24 @@
+// Gate representation for quantum programs.
+//
+// Layout synthesis only distinguishes one- and two-qubit gates (paper §II-A);
+// the gate name is carried through so synthesized circuits can be written
+// back out as OpenQASM.
+#pragma once
+
+#include <cassert>
+#include <string>
+
+namespace olsq2::circuit {
+
+struct Gate {
+  std::string name;  // e.g. "h", "t", "tdg", "cx", "rz", "zz"
+  int q0 = -1;       // first program qubit
+  int q1 = -1;       // second program qubit, -1 for single-qubit gates
+  std::string params;  // raw parameter text, e.g. "pi/2" (kept verbatim)
+
+  bool is_two_qubit() const { return q1 >= 0; }
+
+  bool acts_on(int q) const { return q == q0 || (q1 >= 0 && q == q1); }
+};
+
+}  // namespace olsq2::circuit

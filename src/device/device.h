@@ -1,0 +1,55 @@
+// Coupling graph of a quantum processor (paper §II-A).
+//
+// Vertices are physical qubits; edges are qubit pairs that support two-qubit
+// gates. All-pairs shortest-path distances (BFS) back both the SABRE
+// heuristic and sanity checks in the exact engines.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace olsq2::device {
+
+struct Edge {
+  int p0;
+  int p1;
+
+  bool touches(int p) const { return p == p0 || p == p1; }
+  int other(int p) const { return p == p0 ? p1 : p0; }
+};
+
+class Device {
+ public:
+  Device(std::string name, int num_qubits, std::vector<Edge> edges);
+
+  const std::string& name() const { return name_; }
+  int num_qubits() const { return num_qubits_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const Edge& edge(int e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge indices incident to physical qubit p (E_p in the paper).
+  const std::vector<int>& edges_at(int p) const { return incident_[p]; }
+
+  /// Neighboring physical qubits of p.
+  const std::vector<int>& neighbors(int p) const { return neighbors_[p]; }
+
+  bool adjacent(int p0, int p1) const;
+
+  /// BFS shortest-path distance in edges; num_qubits() if disconnected.
+  int distance(int p0, int p1) const { return dist_[p0][p1]; }
+
+  /// Largest pairwise distance (graph diameter, over the connected part).
+  int diameter() const;
+
+ private:
+  std::string name_;
+  int num_qubits_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> incident_;
+  std::vector<std::vector<int>> neighbors_;
+  std::vector<std::vector<int>> dist_;
+};
+
+}  // namespace olsq2::device

@@ -1,0 +1,177 @@
+#include "device/presets.h"
+
+#include <string>
+#include <vector>
+
+namespace olsq2::device {
+
+Device grid(int rows, int cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return Device("grid" + std::to_string(rows) + "x" + std::to_string(cols),
+                rows * cols, std::move(edges));
+}
+
+Device ibm_qx2() {
+  return Device("qx2", 5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+}
+
+Device rigetti_aspen4() {
+  std::vector<Edge> edges;
+  // Two octagons, qubits 0..7 and 8..15.
+  for (int ring = 0; ring < 2; ++ring) {
+    const int base = ring * 8;
+    for (int i = 0; i < 8; ++i) {
+      edges.push_back({base + i, base + (i + 1) % 8});
+    }
+  }
+  // Bridges between the facing sides of the octagons.
+  edges.push_back({2, 15});
+  edges.push_back({3, 14});
+  return Device("aspen4", 16, std::move(edges));
+}
+
+Device google_sycamore54() {
+  // 6 rows x 9 columns; qubit (r,c) = r*9 + c. Vertical couplers plus
+  // diagonal couplers alternating direction by row parity, reproducing the
+  // degree-<=4 diamond lattice of the Sycamore processor.
+  constexpr int kRows = 6, kCols = 9;
+  auto id = [](int r, int c) { return r * kCols + c; };
+  std::vector<Edge> edges;
+  for (int r = 0; r + 1 < kRows; ++r) {
+    for (int c = 0; c < kCols; ++c) {
+      edges.push_back({id(r, c), id(r + 1, c)});
+      if (r % 2 == 0) {
+        if (c + 1 < kCols) edges.push_back({id(r, c), id(r + 1, c + 1)});
+      } else {
+        if (c - 1 >= 0) edges.push_back({id(r, c), id(r + 1, c - 1)});
+      }
+    }
+  }
+  return Device("sycamore", kRows * kCols, std::move(edges));
+}
+
+Device ibm_eagle127() {
+  // Heavy-hex rows: long rows of 14/15 qubits connected by 4-qubit bridge
+  // rows. Row plan (qubit count per row, top to bottom):
+  //   14, 4, 15, 4, 15, 4, 15, 4, 15, 4, 15, 4, 14   -> 127 qubits.
+  // Long rows occupy columns 0..13 (first), 0..14 (middle), 1..14 (last).
+  // Bridge rows attach at columns 0,4,8,12 and 2,6,10,14 alternately.
+  std::vector<Edge> edges;
+  struct Row {
+    int first_qubit;
+    int first_col;
+    int count;
+  };
+  std::vector<Row> long_rows;
+  std::vector<int> bridge_first;  // first qubit id of each bridge row
+  int next = 0;
+  for (int i = 0; i < 7; ++i) {
+    const int first_col = (i == 6) ? 1 : 0;
+    const int count = (i == 0 || i == 6) ? 14 : 15;
+    long_rows.push_back({next, first_col, count});
+    next += count;
+    if (i < 6) {
+      bridge_first.push_back(next);
+      next += 4;
+    }
+  }
+  // Horizontal edges within long rows.
+  for (const Row& row : long_rows) {
+    for (int k = 0; k + 1 < row.count; ++k) {
+      edges.push_back({row.first_qubit + k, row.first_qubit + k + 1});
+    }
+  }
+  // Bridge edges.
+  auto qubit_at_col = [](const Row& row, int col) {
+    return row.first_qubit + (col - row.first_col);
+  };
+  for (int b = 0; b < 6; ++b) {
+    const int offset = (b % 2 == 0) ? 0 : 2;
+    const Row& above = long_rows[b];
+    const Row& below = long_rows[b + 1];
+    for (int k = 0; k < 4; ++k) {
+      const int col = offset + 4 * k;
+      const int bridge = bridge_first[b] + k;
+      edges.push_back({qubit_at_col(above, col), bridge});
+      edges.push_back({bridge, qubit_at_col(below, col)});
+    }
+  }
+  return Device("eagle", next, std::move(edges));
+}
+
+Device heavy_hex(int rows, int cols) {
+  std::vector<Edge> edges;
+  std::vector<int> row_first(rows);
+  std::vector<int> bridge_first(rows > 1 ? rows - 1 : 0);
+  int next = 0;
+  for (int r = 0; r < rows; ++r) {
+    row_first[r] = next;
+    next += cols;
+    if (r + 1 < rows) {
+      const int offset = (r % 2 == 0) ? 0 : 2;
+      const int bridges = (cols - 1 - offset) / 4 + 1;
+      bridge_first[r] = next;
+      next += bridges;
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c + 1 < cols; ++c) {
+      edges.push_back({row_first[r] + c, row_first[r] + c + 1});
+    }
+    if (r + 1 < rows) {
+      const int offset = (r % 2 == 0) ? 0 : 2;
+      const int bridges = (cols - 1 - offset) / 4 + 1;
+      for (int k = 0; k < bridges; ++k) {
+        const int col = offset + 4 * k;
+        const int bridge = bridge_first[r] + k;
+        edges.push_back({row_first[r] + col, bridge});
+        edges.push_back({bridge, row_first[r + 1] + col});
+      }
+    }
+  }
+  return Device("heavyhex" + std::to_string(rows) + "x" + std::to_string(cols),
+                next, std::move(edges));
+}
+
+Device ibm_guadalupe16() {
+  // Published ibmq_guadalupe coupling map (Falcon r4, heavy-hex 16q).
+  return Device("guadalupe", 16,
+                {{0, 1},
+                 {1, 2},
+                 {1, 4},
+                 {2, 3},
+                 {3, 5},
+                 {4, 7},
+                 {5, 8},
+                 {6, 7},
+                 {7, 10},
+                 {8, 9},
+                 {8, 11},
+                 {10, 12},
+                 {11, 14},
+                 {12, 13},
+                 {12, 15},
+                 {13, 14}});
+}
+
+Device ibm_tokyo20() {
+  // Published ibmq_tokyo (Q20) coupling: 4x5 grid plus diagonal couplers.
+  return Device(
+      "tokyo", 20,
+      {{0, 1},   {1, 2},   {2, 3},   {3, 4},   {0, 5},   {1, 6},   {1, 7},
+       {2, 6},   {2, 7},   {3, 8},   {3, 9},   {4, 8},   {4, 9},   {5, 6},
+       {6, 7},   {7, 8},   {8, 9},   {5, 10},  {5, 11},  {6, 10},  {6, 11},
+       {7, 12},  {7, 13},  {8, 12},  {8, 13},  {9, 14},  {10, 11}, {11, 12},
+       {12, 13}, {13, 14}, {10, 15}, {11, 16}, {11, 17}, {12, 16}, {12, 17},
+       {13, 18}, {13, 19}, {14, 18}, {14, 19}, {15, 16}, {16, 17}, {17, 18},
+       {18, 19}});
+}
+
+}  // namespace olsq2::device

@@ -1,0 +1,42 @@
+// Coupling graphs used in the paper's evaluation (§IV): grid architectures
+// for the encoding studies, plus IBM QX2, Rigetti Aspen-4, Google Sycamore,
+// and an IBM Eagle-class heavy-hex graph for the quality studies.
+#pragma once
+
+#include "device/device.h"
+
+namespace olsq2::device {
+
+/// rows x cols grid: qubit (r,c) = r*cols + c, 4-neighbor connectivity.
+Device grid(int rows, int cols);
+
+/// IBM QX2: 5 qubits, 6 edges (paper Fig. 3).
+Device ibm_qx2();
+
+/// Rigetti Aspen-4 16-qubit lattice: two octagonal rings joined by two
+/// bridge edges.
+Device rigetti_aspen4();
+
+/// Google Sycamore 54-qubit diagonal-grid lattice (6 rows x 9 columns;
+/// vertical plus parity-alternating diagonal couplers). Degree <= 4,
+/// matching the published device's connectivity pattern.
+Device google_sycamore54();
+
+/// IBM Eagle-class 127-qubit heavy-hex lattice: seven 14/15-qubit rows
+/// joined by 4-qubit bridge rows with alternating column offsets, the
+/// structure of ibm_washington.
+Device ibm_eagle127();
+
+/// Generic heavy-hex lattice with `rows` long rows of `cols` qubits each,
+/// joined by bridge rows every four columns (the Falcon/Eagle family's
+/// construction; ibm_eagle127 is the 7x15 instance with trimmed corners).
+Device heavy_hex(int rows, int cols);
+
+/// IBM Guadalupe-class 16-qubit heavy-hex graph (Falcon r4 family).
+Device ibm_guadalupe16();
+
+/// IBM Tokyo 20-qubit device: 4x5 grid with the published diagonal
+/// couplers - a denser topology than grids, often used in routing papers.
+Device ibm_tokyo20();
+
+}  // namespace olsq2::device

@@ -1,0 +1,142 @@
+#include "encode/bitvec.h"
+
+#include <cassert>
+
+namespace olsq2::encode {
+
+int BitVec::width_for(std::uint64_t n) {
+  if (n <= 1) return 1;
+  int w = 0;
+  std::uint64_t v = n - 1;
+  while (v > 0) {
+    w++;
+    v >>= 1;
+  }
+  return w;
+}
+
+BitVec BitVec::fresh(CnfBuilder& b, int width) {
+  BitVec bv;
+  bv.bits_.reserve(width);
+  for (int i = 0; i < width; ++i) bv.bits_.push_back(b.new_lit());
+  return bv;
+}
+
+BitVec BitVec::constant(CnfBuilder& b, std::uint64_t value, int width) {
+  BitVec bv;
+  bv.bits_.reserve(width);
+  for (int i = 0; i < width; ++i) {
+    bv.bits_.push_back(((value >> i) & 1) != 0 ? b.true_lit() : b.false_lit());
+  }
+  return bv;
+}
+
+BitVec BitVec::from_bits(std::vector<Lit> bits) {
+  BitVec bv;
+  bv.bits_ = std::move(bits);
+  return bv;
+}
+
+void BitVec::pad_to(CnfBuilder& b, int width) {
+  while (static_cast<int>(bits_.size()) < width) bits_.push_back(b.false_lit());
+}
+
+Lit BitVec::eq_const(CnfBuilder& b, std::uint64_t value) const {
+  if (auto it = eq_cache_.find(value); it != eq_cache_.end()) return it->second;
+  Lit result;
+  if (value >> width() != 0) {
+    result = b.false_lit();
+  } else {
+    std::vector<Lit> phase;
+    phase.reserve(bits_.size());
+    for (int i = 0; i < width(); ++i) {
+      phase.push_back(((value >> i) & 1) != 0 ? bits_[i] : ~bits_[i]);
+    }
+    result = b.mk_and(phase);
+  }
+  eq_cache_.emplace(value, result);
+  return result;
+}
+
+Lit BitVec::eq(CnfBuilder& b, const BitVec& other) const {
+  assert(width() == other.width());
+  std::vector<Lit> same;
+  same.reserve(bits_.size());
+  for (int i = 0; i < width(); ++i) {
+    same.push_back(b.mk_iff(bits_[i], other.bits_[i]));
+  }
+  return b.mk_and(same);
+}
+
+Lit BitVec::ule_const(CnfBuilder& b, std::uint64_t c) const {
+  if (c >> width() != 0 || c + 1 == (std::uint64_t{1} << width())) {
+    return b.true_lit();  // bound covers the whole range
+  }
+  // MSB-first recursion: le_i = (bit_i < c_i) | (bit_i == c_i) & le_{i-1}.
+  Lit le = b.true_lit();
+  for (int i = 0; i < width(); ++i) {
+    const bool ci = ((c >> i) & 1) != 0;
+    if (ci) {
+      // bit < 1 (i.e. bit == 0) wins; bit == 1 defers.
+      le = b.mk_or({~bits_[i], le});
+    } else {
+      // bit must be 0, then defer.
+      le = b.mk_and(~bits_[i], le);
+    }
+  }
+  return le;
+}
+
+Lit BitVec::ult(CnfBuilder& b, const BitVec& other) const {
+  assert(width() == other.width());
+  // LSB-to-MSB recursion: lt_i = (a_i < b_i) | (a_i == b_i) & lt_{i-1}.
+  Lit lt = b.false_lit();
+  for (int i = 0; i < width(); ++i) {
+    const Lit strictly = b.mk_and(~bits_[i], other.bits_[i]);
+    const Lit equal = b.mk_iff(bits_[i], other.bits_[i]);
+    lt = b.mk_or({strictly, b.mk_and(equal, lt)});
+  }
+  return lt;
+}
+
+Lit BitVec::ule(CnfBuilder& b, const BitVec& other) const {
+  return ~other.ult(b, *this);
+}
+
+void BitVec::assert_lt(CnfBuilder& b, std::uint64_t n) const {
+  assert(n >= 1);
+  if (n >= (std::uint64_t{1} << width())) return;
+  // Direct clause form of (*this <= n-1): for every 1-prefix of (n-1) with a
+  // 0 bit, forbid exceeding it. Equivalent to asserting the reified literal;
+  // clause form propagates better.
+  const std::uint64_t c = n - 1;
+  std::vector<Lit> clause;
+  for (int i = width() - 1; i >= 0; --i) {
+    const bool ci = ((c >> i) & 1) != 0;
+    if (ci) {
+      clause.push_back(~bits_[i]);
+    } else {
+      auto forbidden = clause;
+      forbidden.push_back(~bits_[i]);
+      b.add(std::move(forbidden));
+    }
+  }
+}
+
+BitVec BitVec::add(CnfBuilder& b, const BitVec& other) const {
+  assert(width() == other.width());
+  BitVec out;
+  Lit carry = b.false_lit();
+  for (int i = 0; i < width(); ++i) {
+    const Lit s = b.mk_xor(b.mk_xor(bits_[i], other.bits_[i]), carry);
+    const Lit c_out = b.mk_or(
+        {b.mk_and(bits_[i], other.bits_[i]), b.mk_and(bits_[i], carry),
+         b.mk_and(other.bits_[i], carry)});
+    out.bits_.push_back(s);
+    carry = c_out;
+  }
+  out.bits_.push_back(carry);
+  return out;
+}
+
+}  // namespace olsq2::encode

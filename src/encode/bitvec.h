@@ -1,0 +1,70 @@
+// Unsigned bit-vector atoms, bit-blasted into CNF (the paper's winning
+// variable encoding: mapping and time variables become bit-vectors of width
+// ceil(log2 |P|) and ceil(log2 (T_UB)) respectively).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "encode/cnf.h"
+
+namespace olsq2::encode {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Fresh unconstrained bit-vector of the given width (LSB first).
+  static BitVec fresh(CnfBuilder& b, int width);
+
+  /// Constant bit-vector.
+  static BitVec constant(CnfBuilder& b, std::uint64_t value, int width);
+
+  /// Wrap existing literals (LSB first) as a bit-vector.
+  static BitVec from_bits(std::vector<Lit> bits);
+
+  /// Zero-extend to the given width.
+  void pad_to(CnfBuilder& b, int width);
+
+  int width() const { return static_cast<int>(bits_.size()); }
+  Lit bit(int i) const { return bits_[i]; }
+  std::span<const Lit> bits() const { return bits_; }
+
+  /// Reified equality with a constant; results are cached per value so
+  /// repeated queries (e.g. pi == p for every edge endpoint) are cheap.
+  Lit eq_const(CnfBuilder& b, std::uint64_t value) const;
+
+  /// Reified equality with another bit-vector of the same width.
+  Lit eq(CnfBuilder& b, const BitVec& other) const;
+
+  /// Reified unsigned comparison with a constant: (*this <= c).
+  Lit ule_const(CnfBuilder& b, std::uint64_t c) const;
+  /// Reified unsigned comparison with a constant: (*this < c).
+  Lit ult_const(CnfBuilder& b, std::uint64_t c) const {
+    return c == 0 ? b.false_lit() : ule_const(b, c - 1);
+  }
+
+  /// Reified unsigned comparison with another bit-vector: (*this < other).
+  Lit ult(CnfBuilder& b, const BitVec& other) const;
+  /// Reified unsigned comparison with another bit-vector: (*this <= other).
+  Lit ule(CnfBuilder& b, const BitVec& other) const;
+
+  /// Hard-assert this bit-vector is < n (domain restriction for values whose
+  /// range is not a power of two).
+  void assert_lt(CnfBuilder& b, std::uint64_t n) const;
+
+  /// this + other, width grows by one (ripple-carry adder).
+  BitVec add(CnfBuilder& b, const BitVec& other) const;
+
+  /// Minimal width holding values 0..n-1.
+  static int width_for(std::uint64_t n);
+
+ private:
+  std::vector<Lit> bits_;
+  // Cache of reified equality literals, keyed by constant value.
+  mutable std::unordered_map<std::uint64_t, Lit> eq_cache_;
+};
+
+}  // namespace olsq2::encode

@@ -1,0 +1,122 @@
+#include "encode/cardinality.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "encode/bitvec.h"
+
+namespace olsq2::encode {
+
+void at_most_one_pairwise(CnfBuilder& b, std::span<const Lit> lits) {
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    for (std::size_t j = i + 1; j < lits.size(); ++j) {
+      b.add({~lits[i], ~lits[j]});
+    }
+  }
+}
+
+void at_most_one_commander(CnfBuilder& b, std::span<const Lit> lits,
+                           int group_size) {
+  assert(group_size >= 2);
+  if (lits.size() <= static_cast<std::size_t>(group_size)) {
+    at_most_one_pairwise(b, lits);
+    return;
+  }
+  std::vector<Lit> commanders;
+  for (std::size_t start = 0; start < lits.size();
+       start += static_cast<std::size_t>(group_size)) {
+    const std::size_t end =
+        std::min(lits.size(), start + static_cast<std::size_t>(group_size));
+    const std::span<const Lit> group = lits.subspan(start, end - start);
+    at_most_one_pairwise(b, group);
+    // Commander literal c: any group member true -> c.
+    const Lit c = b.new_lit();
+    for (const Lit l : group) b.imply(l, c);
+    commanders.push_back(c);
+  }
+  at_most_one_commander(b, commanders, group_size);
+}
+
+void exactly_one(CnfBuilder& b, std::span<const Lit> lits, AmoKind kind) {
+  assert(!lits.empty());
+  b.add(std::vector<Lit>(lits.begin(), lits.end()));
+  switch (kind) {
+    case AmoKind::kPairwise:
+      at_most_one_pairwise(b, lits);
+      break;
+    case AmoKind::kCommander:
+      at_most_one_commander(b, lits);
+      break;
+  }
+}
+
+void at_most_k_seqcounter(CnfBuilder& b, std::span<const Lit> lits, int k) {
+  const int n = static_cast<int>(lits.size());
+  if (k >= n) return;
+  if (k <= 0) {
+    for (const Lit l : lits) b.add({~l});
+    return;
+  }
+  // s[i][j] (0-based) = "at least j+1 of lits[0..i] are true".
+  std::vector<std::vector<Lit>> s(n, std::vector<Lit>(k));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < k; ++j) s[i][j] = b.new_lit();
+
+  // Base row.
+  b.imply(lits[0], s[0][0]);
+  for (int j = 1; j < k; ++j) b.add({~s[0][j]});
+  for (int i = 1; i < n; ++i) {
+    b.imply(lits[i], s[i][0]);
+    b.imply(s[i - 1][0], s[i][0]);
+    for (int j = 1; j < k; ++j) {
+      // count reaches j+1 at i if it was j and lits[i] fires, or was already j+1.
+      b.imply(lits[i], s[i - 1][j - 1], s[i][j]);
+      b.imply(s[i - 1][j], s[i][j]);
+    }
+    // Overflow: lits[i] with k already reached is forbidden.
+    b.add({~lits[i], ~s[i - 1][k - 1]});
+  }
+}
+
+void at_most_k_adder(CnfBuilder& b, std::span<const Lit> lits, int k) {
+  const int n = static_cast<int>(lits.size());
+  if (k >= n) return;
+  if (k <= 0) {
+    for (const Lit l : lits) b.add({~l});
+    return;
+  }
+  // Tree of ripple-carry adders summing single-bit operands.
+  std::vector<BitVec> terms;
+  terms.reserve(lits.size());
+  for (const Lit l : lits) terms.push_back(BitVec::from_bits({l}));
+  while (terms.size() > 1) {
+    std::vector<BitVec> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      BitVec sum = terms[i].add(b, terms[i + 1]);
+      next.push_back(std::move(sum));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    // Normalize widths: pad shorter vectors with false.
+    std::size_t max_w = 0;
+    for (const auto& t : next) max_w = std::max(max_w, static_cast<std::size_t>(t.width()));
+    for (auto& t : next) t.pad_to(b, static_cast<int>(max_w));
+    terms = std::move(next);
+  }
+  const Lit le = terms[0].ule_const(b, static_cast<std::uint64_t>(k));
+  b.add({le});
+}
+
+void at_least_k_seqcounter(CnfBuilder& b, std::span<const Lit> lits, int k) {
+  if (k <= 0) return;
+  const int n = static_cast<int>(lits.size());
+  if (k > n) {
+    b.add(std::vector<Lit>{});  // unsatisfiable
+    return;
+  }
+  std::vector<Lit> negated;
+  negated.reserve(lits.size());
+  for (const Lit l : lits) negated.push_back(~l);
+  at_most_k_seqcounter(b, negated, n - k);
+}
+
+}  // namespace olsq2::encode

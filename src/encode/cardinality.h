@@ -1,0 +1,46 @@
+// Boolean cardinality constraint encodings.
+//
+// The paper (§III-C) finds that the encoding of "at most k SWAPs" dominates
+// solver behaviour: Z3's built-in AtMost (pseudo-Boolean theory) loses to a
+// sequential-counter CNF encoding (Sinz, CP'05). We provide:
+//   - pairwise and commander at-most-one,
+//   - sequential counter at-most-k (the paper's choice),
+//   - an adder-network pseudo-Boolean at-most-k (stand-in for the AtMost /
+//     PB-theory path the paper measures as the slow alternative),
+//   - a totalizer (totalizer.h) whose sorted outputs enable incremental
+//     bound tightening via assumptions, used by the iterative-descent
+//     optimizer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "encode/cnf.h"
+
+namespace olsq2::encode {
+
+/// At-most-one via pairwise negative clauses: Θ(n²) clauses, no aux vars.
+void at_most_one_pairwise(CnfBuilder& b, std::span<const Lit> lits);
+
+/// At-most-one via commander encoding with the given group size:
+/// Θ(n) clauses and Θ(n / group) aux vars.
+void at_most_one_commander(CnfBuilder& b, std::span<const Lit> lits,
+                           int group_size = 4);
+
+/// Exactly-one: at-least-one clause plus a chosen at-most-one encoding.
+enum class AmoKind { kPairwise, kCommander };
+void exactly_one(CnfBuilder& b, std::span<const Lit> lits,
+                 AmoKind kind = AmoKind::kCommander);
+
+/// At-most-k via the Sinz sequential counter. Emits a hard bound.
+void at_most_k_seqcounter(CnfBuilder& b, std::span<const Lit> lits, int k);
+
+/// At-most-k via a binary adder network + comparator (pseudo-Boolean
+/// style). Intentionally the heavier encoding; used for the Table II
+/// "AtMost" configuration.
+void at_most_k_adder(CnfBuilder& b, std::span<const Lit> lits, int k);
+
+/// At-least-k (via at_most_(n-k) over negated literals).
+void at_least_k_seqcounter(CnfBuilder& b, std::span<const Lit> lits, int k);
+
+}  // namespace olsq2::encode

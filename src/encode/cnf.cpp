@@ -1,0 +1,82 @@
+#include "encode/cnf.h"
+
+namespace olsq2::encode {
+
+Lit CnfBuilder::true_lit() {
+  if (true_lit_.is_undef()) {
+    true_lit_ = new_lit();
+    add({true_lit_});
+  }
+  return true_lit_;
+}
+
+Lit CnfBuilder::mk_and(Lit a, Lit b) {
+  if (a == b) return a;
+  if (a == ~b) return false_lit();
+  const Lit y = new_lit();
+  aux_vars_++;
+  add({~y, a});
+  add({~y, b});
+  add({y, ~a, ~b});
+  return y;
+}
+
+Lit CnfBuilder::mk_or(std::span<const Lit> lits) {
+  if (lits.empty()) return false_lit();
+  if (lits.size() == 1) return lits[0];
+  const Lit y = new_lit();
+  aux_vars_++;
+  std::vector<Lit> big;
+  big.reserve(lits.size() + 1);
+  big.push_back(~y);
+  for (const Lit l : lits) {
+    add({y, ~l});
+    big.push_back(l);
+  }
+  add(std::move(big));
+  return y;
+}
+
+Lit CnfBuilder::mk_and(std::span<const Lit> lits) {
+  if (lits.empty()) return true_lit();
+  if (lits.size() == 1) return lits[0];
+  const Lit y = new_lit();
+  aux_vars_++;
+  std::vector<Lit> big;
+  big.reserve(lits.size() + 1);
+  big.push_back(y);
+  for (const Lit l : lits) {
+    add({~y, l});
+    big.push_back(~l);
+  }
+  add(std::move(big));
+  return y;
+}
+
+Lit CnfBuilder::mk_xor(Lit a, Lit b) {
+  if (a == b) return false_lit();
+  if (a == ~b) return true_lit();
+  const Lit y = new_lit();
+  aux_vars_++;
+  add({~y, a, b});
+  add({~y, ~a, ~b});
+  add({y, ~a, b});
+  add({y, a, ~b});
+  return y;
+}
+
+Lit CnfBuilder::mk_ite(Lit c, Lit t, Lit e) {
+  if (t == e) return t;
+  const Lit y = new_lit();
+  aux_vars_++;
+  add({~c, ~t, y});
+  add({~c, t, ~y});
+  add({c, ~e, y});
+  add({c, e, ~y});
+  // Redundant but propagation-strengthening clauses.
+  add({~t, ~e, y});
+  add({t, e, ~y});
+  return y;
+}
+
+}  // namespace olsq2::encode

@@ -1,0 +1,70 @@
+// CnfBuilder: Tseitin-style circuit-to-CNF construction on top of the solver.
+//
+// All gate constructors emit full (both-polarity) equivalence clauses, so the
+// returned literal may be used in either phase by later constraints.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace olsq2::encode {
+
+using sat::Lit;
+using sat::Var;
+
+class CnfBuilder {
+ public:
+  explicit CnfBuilder(sat::Solver& solver) : solver_(solver) {}
+
+  sat::Solver& solver() { return solver_; }
+
+  /// A fresh literal (positive phase of a fresh variable).
+  Lit new_lit() { return Lit::pos(solver_.new_var()); }
+
+  /// Constant-true literal (lazily created and asserted).
+  Lit true_lit();
+  Lit false_lit() { return ~true_lit(); }
+
+  void add(std::vector<Lit> clause) { solver_.add_clause(std::move(clause)); }
+  void add(std::initializer_list<Lit> clause) {
+    solver_.add_clause(std::vector<Lit>(clause));
+  }
+
+  /// y <-> a & b
+  Lit mk_and(Lit a, Lit b);
+  /// y <-> OR(lits)
+  Lit mk_or(std::span<const Lit> lits);
+  Lit mk_or(std::initializer_list<Lit> lits) {
+    return mk_or(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+  /// y <-> AND(lits)
+  Lit mk_and(std::span<const Lit> lits);
+  Lit mk_and(std::initializer_list<Lit> lits) {
+    return mk_and(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+  /// y <-> (a xor b)
+  Lit mk_xor(Lit a, Lit b);
+  /// y <-> (a == b)
+  Lit mk_iff(Lit a, Lit b) { return ~mk_xor(a, b); }
+  /// y <-> (c ? t : e)
+  Lit mk_ite(Lit c, Lit t, Lit e);
+
+  /// Assert a -> b.
+  void imply(Lit a, Lit b) { add({~a, b}); }
+  /// Assert (a & b) -> c.
+  void imply(Lit a, Lit b, Lit c) { add({~a, ~b, c}); }
+
+  /// Number of auxiliary variables this builder created (for statistics).
+  std::int64_t aux_vars() const { return aux_vars_; }
+
+ private:
+  sat::Solver& solver_;
+  Lit true_lit_ = sat::kUndefLit;
+  std::int64_t aux_vars_ = 0;
+};
+
+}  // namespace olsq2::encode

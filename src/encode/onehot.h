@@ -1,0 +1,63 @@
+// One-hot (direct) encoding of a finite-domain variable.
+//
+// Serves as the reproduction's analog of the paper's *integer* variable
+// encoding: one Boolean per domain value with an exactly-one constraint, so
+// a domain of size D costs Θ(D) variables versus Θ(log D) for bit-vectors.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "encode/cardinality.h"
+#include "encode/cnf.h"
+
+namespace olsq2::encode {
+
+class OneHot {
+ public:
+  OneHot() = default;
+
+  /// Fresh variable over domain {0, ..., domain_size-1}.
+  static OneHot fresh(CnfBuilder& b, int domain_size,
+                      AmoKind amo = AmoKind::kCommander) {
+    OneHot v;
+    v.lits_.reserve(domain_size);
+    for (int i = 0; i < domain_size; ++i) v.lits_.push_back(b.new_lit());
+    exactly_one(b, v.lits_, amo);
+    return v;
+  }
+
+  int domain_size() const { return static_cast<int>(lits_.size()); }
+
+  /// Literal for (var == value): free, it *is* the value's indicator.
+  Lit eq_const(int value) const {
+    assert(value >= 0 && value < domain_size());
+    return lits_[value];
+  }
+
+  /// Assumption/assertable literal for (var <= bound).
+  Lit le_const(CnfBuilder& b, int bound) const {
+    if (bound >= domain_size() - 1) return b.true_lit();
+    // var <= bound iff none of the higher indicators fire.
+    std::vector<Lit> high;
+    for (int v = bound + 1; v < domain_size(); ++v) high.push_back(lits_[v]);
+    return ~b.mk_or(high);
+  }
+
+  /// Equality of two one-hot variables over the same domain.
+  Lit eq(CnfBuilder& b, const OneHot& other) const {
+    assert(domain_size() == other.domain_size());
+    std::vector<Lit> agree;
+    agree.reserve(lits_.size());
+    for (int v = 0; v < domain_size(); ++v) {
+      agree.push_back(b.mk_iff(lits_[v], other.lits_[v]));
+    }
+    return b.mk_and(agree);
+  }
+
+ private:
+  std::vector<Lit> lits_;
+};
+
+}  // namespace olsq2::encode

@@ -1,0 +1,66 @@
+#include "encode/totalizer.h"
+
+#include <cassert>
+
+namespace olsq2::encode {
+
+Totalizer::Totalizer(CnfBuilder& b, std::span<const Lit> inputs) {
+  outputs_ = build(b, inputs);
+}
+
+std::vector<Lit> Totalizer::build(CnfBuilder& b, std::span<const Lit> inputs) {
+  if (inputs.size() <= 1) {
+    return std::vector<Lit>(inputs.begin(), inputs.end());
+  }
+  const std::size_t mid = inputs.size() / 2;
+  const std::vector<Lit> left = build(b, inputs.subspan(0, mid));
+  const std::vector<Lit> right = build(b, inputs.subspan(mid));
+  return merge(b, left, right);
+}
+
+std::vector<Lit> Totalizer::merge(CnfBuilder& b, std::span<const Lit> left,
+                                  std::span<const Lit> right) {
+  const std::size_t n = left.size() + right.size();
+  std::vector<Lit> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(b.new_lit());
+
+  // (sum_left >= a) & (sum_right >= c) -> (sum >= a + c), and the converse
+  // direction for completeness of the sorted-output semantics.
+  for (std::size_t a = 0; a <= left.size(); ++a) {
+    for (std::size_t c = 0; c <= right.size(); ++c) {
+      if (a + c >= 1) {
+        // Forward: a trues on the left and c trues on the right force
+        // out[a+c-1].
+        std::vector<Lit> clause;
+        if (a > 0) clause.push_back(~left[a - 1]);
+        if (c > 0) clause.push_back(~right[c - 1]);
+        clause.push_back(out[a + c - 1]);
+        b.add(std::move(clause));
+      }
+      if (a + c < n) {
+        // Backward: fewer than a+1 on the left and fewer than c+1 on the
+        // right cap the total below a+c+1.
+        std::vector<Lit> clause;
+        if (a < left.size()) clause.push_back(left[a]);
+        if (c < right.size()) clause.push_back(right[c]);
+        clause.push_back(~out[a + c]);
+        b.add(std::move(clause));
+      }
+    }
+  }
+  return out;
+}
+
+Lit Totalizer::bound_leq(CnfBuilder& b, int k) const {
+  assert(k >= 0);
+  if (k >= size()) return b.true_lit();
+  return ~outputs_[k];
+}
+
+void Totalizer::assert_leq(CnfBuilder& b, int k) const {
+  if (k >= size()) return;
+  b.add({~outputs_[k]});
+}
+
+}  // namespace olsq2::encode

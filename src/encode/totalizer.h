@@ -1,0 +1,43 @@
+// Totalizer cardinality encoding (Bailleux & Boufkhad, CP'03).
+//
+// Builds a balanced tree of "unary adders" whose root outputs o_1..o_n are
+// sorted: o_j is true iff at least j inputs are true. Bounding the sum to
+// <= k then reduces to asserting ~o_{k+1} — which can be done with a solver
+// *assumption*, making the iterative-descent SWAP optimization (paper
+// §III-B2) fully incremental: each tightening reuses all learnt clauses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "encode/cnf.h"
+
+namespace olsq2::encode {
+
+class Totalizer {
+ public:
+  /// Build the totalizer tree over the given input literals.
+  Totalizer(CnfBuilder& b, std::span<const Lit> inputs);
+
+  /// Number of inputs n.
+  int size() const { return static_cast<int>(outputs_.size()); }
+
+  /// Sorted outputs: outputs()[j] <-> (at least j+1 inputs true).
+  std::span<const Lit> outputs() const { return outputs_; }
+
+  /// Assumption literal enforcing (sum <= k). For k >= n returns the
+  /// builder's constant-true literal.
+  Lit bound_leq(CnfBuilder& b, int k) const;
+
+  /// Permanently assert (sum <= k).
+  void assert_leq(CnfBuilder& b, int k) const;
+
+ private:
+  std::vector<Lit> merge(CnfBuilder& b, std::span<const Lit> left,
+                         std::span<const Lit> right);
+  std::vector<Lit> build(CnfBuilder& b, std::span<const Lit> inputs);
+
+  std::vector<Lit> outputs_;
+};
+
+}  // namespace olsq2::encode

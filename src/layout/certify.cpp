@@ -1,0 +1,61 @@
+#include "layout/certify.h"
+
+#include <chrono>
+
+#include "layout/model.h"
+#include "sat/drat_check.h"
+
+namespace olsq2::layout {
+
+namespace {
+
+Certificate run_certification(Model& model, sat::Proof& proof,
+                              double time_budget_ms,
+                              const std::chrono::steady_clock::time_point start) {
+  Certificate cert;
+  if (time_budget_ms > 0) {
+    model.solver().set_time_budget(std::chrono::milliseconds(
+        static_cast<std::int64_t>(time_budget_ms)));
+  }
+  const sat::LBool status = model.solver().solve();
+  cert.infeasible = status == sat::LBool::kFalse;
+  cert.proof_steps = proof.size();
+  if (cert.infeasible) {
+    const sat::DratCheckResult check =
+        sat::check_drat(model.solver().clause_log(), proof);
+    cert.proof_checked = check.all_steps_valid;
+    cert.refutation_complete = check.proves_unsat;
+  }
+  cert.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return cert;
+}
+
+}  // namespace
+
+Certificate certify_depth_lower_bound(const Problem& problem, int t_ub,
+                                      int depth_bound,
+                                      const EncodingConfig& config,
+                                      double time_budget_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  Certificate cert;
+  if (depth_bound >= t_ub) return cert;  // bound vacuous within this horizon
+  sat::Proof proof;
+  Model model(problem, t_ub, config, &proof, /*log_clauses=*/true);
+  model.solver().add_clause({model.depth_bound(depth_bound)});
+  return run_certification(model, proof, time_budget_ms, start);
+}
+
+Certificate certify_swap_lower_bound(const Problem& problem, int t_ub,
+                                     int swap_bound,
+                                     const EncodingConfig& config,
+                                     double time_budget_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  sat::Proof proof;
+  Model model(problem, t_ub, config, &proof, /*log_clauses=*/true);
+  model.assert_swap_bound_hard(swap_bound, config.cardinality);
+  return run_certification(model, proof, time_budget_ms, start);
+}
+
+}  // namespace olsq2::layout

@@ -1,0 +1,45 @@
+// Machine-checkable optimality certificates.
+//
+// The optimizer's "optimal" verdict is an UNSAT answer at the next-tighter
+// bound. These helpers rebuild that bound as a *hard* constraint in a fresh
+// model with DRAT proof logging enabled, re-derive the UNSAT answer, and
+// replay the proof through the independent RUP checker - so depth/SWAP
+// optimality does not rest on trusting the solver.
+#pragma once
+
+#include "layout/types.h"
+#include "sat/proof.h"
+
+namespace olsq2::layout {
+
+struct Certificate {
+  /// The bound was proven infeasible (solver answered UNSAT).
+  bool infeasible = false;
+  /// The DRAT proof replayed successfully through the RUP checker.
+  bool proof_checked = false;
+  /// The proof ends in the empty clause (a complete refutation).
+  bool refutation_complete = false;
+  std::size_t proof_steps = 0;
+  double wall_ms = 0.0;
+
+  bool certified() const {
+    return infeasible && proof_checked && refutation_complete;
+  }
+};
+
+/// Certify that no schedule with depth <= `depth_bound` exists within the
+/// horizon `t_ub` (so `depth_bound + 1` is a true lower bound). Unlimited
+/// when time_budget_ms <= 0.
+Certificate certify_depth_lower_bound(const Problem& problem, int t_ub,
+                                      int depth_bound,
+                                      const EncodingConfig& config = {},
+                                      double time_budget_ms = 0.0);
+
+/// Certify that no schedule with at most `swap_bound` SWAPs exists within
+/// the horizon `t_ub`.
+Certificate certify_swap_lower_bound(const Problem& problem, int t_ub,
+                                     int swap_bound,
+                                     const EncodingConfig& config = {},
+                                     double time_budget_ms = 0.0);
+
+}  // namespace olsq2::layout

@@ -1,0 +1,148 @@
+#include "layout/export.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace olsq2::layout {
+
+circuit::Circuit to_physical_circuit(const Problem& problem,
+                                     const Result& result) {
+  const circuit::Circuit& in = *problem.circuit;
+  circuit::Circuit out(problem.device->num_qubits(), in.name() + "_mapped");
+  if (!result.solved) return out;
+
+  // Gates grouped by time step; SWAPs finishing at t precede gates at t
+  // (the mapping at t already reflects them).
+  std::vector<std::vector<int>> gates_at(result.depth);
+  for (int g = 0; g < in.num_gates(); ++g) {
+    gates_at[result.gate_time[g]].push_back(g);
+  }
+  std::vector<std::vector<int>> swaps_at(result.depth);
+  for (std::size_t s = 0; s < result.swaps.size(); ++s) {
+    const int t = result.swaps[s].end_time;
+    if (t >= 0 && t < result.depth) swaps_at[t].push_back(static_cast<int>(s));
+  }
+  for (int t = 0; t < result.depth; ++t) {
+    for (const int s : swaps_at[t]) {
+      const device::Edge& e = problem.device->edge(result.swaps[s].edge);
+      out.add_gate("swap", e.p0, e.p1);
+    }
+    for (const int g : gates_at[t]) {
+      const circuit::Gate& gate = in.gate(g);
+      if (gate.is_two_qubit()) {
+        out.add_gate(gate.name, result.mapping[t][gate.q0],
+                     result.mapping[t][gate.q1], gate.params);
+      } else {
+        out.add_gate(gate.name, result.mapping[t][gate.q0], gate.params);
+      }
+    }
+  }
+  return out;
+}
+
+Result expand_transition_result(const Problem& problem, const Result& tb) {
+  Result out;
+  if (!tb.solved || !tb.transition_based) return out;
+  const circuit::Circuit& circ = *problem.circuit;
+  const int sd = problem.swap_duration;
+  const int blocks = tb.depth;
+
+  // Gates grouped by block, in program order (preserves dependencies).
+  std::vector<std::vector<int>> gates_in(blocks);
+  for (int g = 0; g < circ.num_gates(); ++g) {
+    gates_in[tb.gate_time[g]].push_back(g);
+  }
+  std::vector<std::vector<int>> swaps_at(blocks);  // transition k = between k,k+1
+  for (std::size_t s = 0; s < tb.swaps.size(); ++s) {
+    swaps_at[tb.swaps[s].end_time].push_back(static_cast<int>(s));
+  }
+
+  out.solved = true;
+  out.gate_time.resize(circ.num_gates());
+  std::vector<std::vector<int>> mapping;  // grows one entry per time step
+  int block_start = 0;
+  for (int k = 0; k < blocks; ++k) {
+    // ASAP schedule inside the block at the fixed mapping.
+    std::vector<int> avail(circ.num_qubits(), block_start);
+    int block_end = block_start;  // exclusive
+    for (const int g : gates_in[k]) {
+      const circuit::Gate& gate = circ.gate(g);
+      int t = avail[gate.q0];
+      if (gate.is_two_qubit()) t = std::max(t, avail[gate.q1]);
+      out.gate_time[g] = t;
+      avail[gate.q0] = t + 1;
+      if (gate.is_two_qubit()) avail[gate.q1] = t + 1;
+      block_end = std::max(block_end, t + 1);
+    }
+    if (block_end == block_start) block_end = block_start;  // empty block
+    while (static_cast<int>(mapping.size()) < block_end) {
+      mapping.push_back(tb.mapping[k]);
+    }
+    block_start = block_end;
+    // Transition SWAP layer (aligned, parallel, disjoint by construction).
+    if (k + 1 < blocks && !swaps_at[k].empty()) {
+      const int swap_end = block_end + sd - 1;  // inclusive end step
+      // Mapping stays the old one through swap_end - 1, flips at swap_end.
+      while (static_cast<int>(mapping.size()) < swap_end) {
+        mapping.push_back(tb.mapping[k]);
+      }
+      mapping.push_back(tb.mapping[k + 1]);
+      for (const int s : swaps_at[k]) {
+        out.swaps.push_back({tb.swaps[s].edge, swap_end});
+      }
+      block_start = swap_end + 1;
+    }
+  }
+  out.depth = static_cast<int>(mapping.size());
+  out.mapping = std::move(mapping);
+  out.swap_count = static_cast<int>(out.swaps.size());
+  out.pareto = tb.pareto;
+  return out;
+}
+
+std::string format_result(const Problem& problem, const Result& result) {
+  std::ostringstream out;
+  const circuit::Circuit& in = *problem.circuit;
+  if (!result.solved) {
+    out << in.label() << ": no solution";
+    if (result.hit_budget) out << " (time budget exhausted)";
+    out << "\n";
+    return out.str();
+  }
+  out << in.label() << " on " << problem.device->name() << ":\n";
+  out << (result.transition_based ? "  blocks: " : "  depth: ") << result.depth
+      << "\n  swaps: " << result.swap_count << "\n  initial mapping:";
+  for (int q = 0; q < in.num_qubits(); ++q) {
+    out << " q" << q << "->p" << result.mapping[0][q];
+  }
+  out << "\n";
+  if (!result.swaps.empty()) {
+    out << "  swap gates:\n";
+    for (const SwapOp& s : result.swaps) {
+      const device::Edge& e = problem.device->edge(s.edge);
+      out << "    "
+          << (result.transition_based ? "transition " : "ends at t=")
+          << s.end_time << " on (p" << e.p0 << ", p" << e.p1 << ")\n";
+    }
+  }
+  out << "  schedule:\n";
+  for (int g = 0; g < in.num_gates(); ++g) {
+    const circuit::Gate& gate = in.gate(g);
+    const int t = result.gate_time[g];
+    out << "    t=" << t << "  " << gate.name << " q" << gate.q0;
+    if (gate.is_two_qubit()) out << ", q" << gate.q1;
+    out << "  (p" << result.mapping[t][gate.q0];
+    if (gate.is_two_qubit()) out << ", p" << result.mapping[t][gate.q1];
+    out << ")\n";
+  }
+  if (!result.pareto.empty()) {
+    out << "  pareto (depth, swaps):";
+    for (const auto& [d, s] : result.pareto) out << " (" << d << ", " << s << ")";
+    out << "\n";
+  }
+  out << "  search: " << result.sat_calls << " SAT calls, "
+      << result.conflicts << " conflicts, " << result.wall_ms << " ms\n";
+  return out.str();
+}
+
+}  // namespace olsq2::layout

@@ -1,0 +1,31 @@
+// Converting synthesis results into routed physical circuits and
+// human-readable reports.
+#pragma once
+
+#include <string>
+
+#include "layout/types.h"
+
+namespace olsq2::layout {
+
+/// Rebuild the synthesized circuit over *physical* qubits: gates appear in
+/// schedule order with operands resolved through the time-varying mapping,
+/// and each inserted SWAP becomes an explicit "swap" gate. The output can be
+/// serialized with qasm::write(). Works for time-resolved results; for
+/// transition-based results the block index plays the role of time.
+circuit::Circuit to_physical_circuit(const Problem& problem,
+                                     const Result& result);
+
+/// Multi-line human-readable summary: objective values, schedule, mapping
+/// evolution, and SWAP list.
+std::string format_result(const Problem& problem, const Result& result);
+
+/// Expand a transition-based (TB-OLSQ2 / TB-OLSQ) result into a concrete
+/// time-resolved schedule: each block is scheduled ASAP at a fixed mapping
+/// and each transition becomes one aligned layer of parallel SWAPs of
+/// duration S_D. The output satisfies the full time-resolved verifier
+/// (constraints (1)-(5)) and preserves the SWAP count; its depth is a
+/// valid - not necessarily optimal - execution depth for the TB solution.
+Result expand_transition_result(const Problem& problem, const Result& tb);
+
+}  // namespace olsq2::layout

@@ -1,0 +1,106 @@
+#include "layout/fdvar.h"
+
+namespace olsq2::layout {
+
+FdVar FdVar::make(CnfBuilder& b, int domain, VarEncoding enc) {
+  assert(domain >= 1);
+  FdVar v;
+  v.domain_ = domain;
+  v.encoding_ = enc;
+  if (enc == VarEncoding::kOneHot) {
+    v.onehot_.reserve(domain);
+    for (int i = 0; i < domain; ++i) v.onehot_.push_back(b.new_lit());
+    encode::exactly_one(b, v.onehot_, encode::AmoKind::kCommander);
+  } else {
+    const int width = encode::BitVec::width_for(domain);
+    v.bits_ = encode::BitVec::fresh(b, width);
+    v.bits_.assert_lt(b, static_cast<std::uint64_t>(domain));
+  }
+  return v;
+}
+
+Lit FdVar::eq(CnfBuilder& b, int value) const {
+  assert(value >= 0 && value < domain_);
+  if (encoding_ == VarEncoding::kOneHot) return onehot_[value];
+  return bits_.eq_const(b, static_cast<std::uint64_t>(value));
+}
+
+void FdVar::build_ladder(CnfBuilder& b) const {
+  if (!ladder_.empty()) return;
+  ladder_.resize(domain_);
+  ladder_[0] = onehot_[0];
+  for (int t = 1; t < domain_; ++t) {
+    ladder_[t] = b.mk_or({ladder_[t - 1], onehot_[t]});
+  }
+}
+
+Lit FdVar::le(CnfBuilder& b, int bound) const {
+  if (bound >= domain_ - 1) return b.true_lit();
+  if (bound < 0) return b.false_lit();
+  if (auto it = le_cache_.find(bound); it != le_cache_.end()) return it->second;
+  Lit result;
+  if (encoding_ == VarEncoding::kOneHot) {
+    build_ladder(b);
+    result = ladder_[bound];
+  } else {
+    result = bits_.ule_const(b, static_cast<std::uint64_t>(bound));
+  }
+  le_cache_.emplace(bound, result);
+  return result;
+}
+
+void FdVar::assert_lt(CnfBuilder& b, const FdVar& other) const {
+  assert(domain_ == other.domain_ && encoding_ == other.encoding_);
+  if (encoding_ == VarEncoding::kOneHot) {
+    // other == t  ->  this <= t-1; and other != 0.
+    b.add({~other.onehot_[0]});
+    for (int t = 1; t < domain_; ++t) {
+      b.imply(other.onehot_[t], le(b, t - 1));
+    }
+  } else {
+    b.add({bits_.ult(b, other.bits_)});
+  }
+}
+
+void FdVar::assert_le(CnfBuilder& b, const FdVar& other) const {
+  assert(domain_ == other.domain_ && encoding_ == other.encoding_);
+  if (encoding_ == VarEncoding::kOneHot) {
+    for (int t = 0; t < domain_; ++t) {
+      b.imply(other.onehot_[t], le(b, t));
+    }
+  } else {
+    b.add({bits_.ule(b, other.bits_)});
+  }
+}
+
+void FdVar::suggest(sat::Solver& s, int value) const {
+  if (value < 0 || value >= domain_) return;
+  if (encoding_ == VarEncoding::kOneHot) {
+    for (int v = 0; v < domain_; ++v) {
+      const Lit l = onehot_[v];
+      s.set_polarity(l.var(), (v == value) != l.sign());
+    }
+  } else {
+    for (int i = 0; i < bits_.width(); ++i) {
+      const Lit l = bits_.bit(i);
+      const bool bit = ((value >> i) & 1) != 0;
+      s.set_polarity(l.var(), bit != l.sign());
+    }
+  }
+}
+
+int FdVar::decode(const sat::Solver& s) const {
+  if (encoding_ == VarEncoding::kOneHot) {
+    for (int v = 0; v < domain_; ++v) {
+      if (s.model_bool(onehot_[v])) return v;
+    }
+    return -1;  // unreachable for a valid model
+  }
+  int v = 0;
+  for (int i = 0; i < bits_.width(); ++i) {
+    if (s.model_bool(bits_.bit(i))) v |= (1 << i);
+  }
+  return v;
+}
+
+}  // namespace olsq2::layout

@@ -1,0 +1,73 @@
+// Finite-domain variable with pluggable CNF encoding.
+//
+// The paper's central encoding study (§III-C, Table I) compares integer
+// versus bit-vector variables for the mapping (pi) and time (t_g) variables.
+// In this pure-SAT reproduction the axis becomes:
+//   kOneHot - direct/unary encoding, Θ(D) indicator variables (the analog of
+//             the integer-arithmetic path: more, weaker variables), plus an
+//             order-encoding ladder for comparisons;
+//   kBinary - bit-vector encoding, Θ(log D) bits via bit-blasting (the
+//             paper's winning choice).
+// FdVar hides the choice behind eq/le/comparison queries so every layout
+// model is encoding-agnostic.
+#pragma once
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "encode/bitvec.h"
+#include "encode/cardinality.h"
+#include "encode/cnf.h"
+
+namespace olsq2::layout {
+
+using encode::CnfBuilder;
+using sat::Lit;
+
+enum class VarEncoding { kOneHot, kBinary };
+
+class FdVar {
+ public:
+  FdVar() = default;
+
+  /// Fresh variable over {0, ..., domain-1} in the chosen encoding.
+  static FdVar make(CnfBuilder& b, int domain, VarEncoding enc);
+
+  int domain() const { return domain_; }
+  VarEncoding encoding() const { return encoding_; }
+
+  /// Literal for (var == value). Cached; cheap for one-hot, a Tseitin AND
+  /// over the bits for binary.
+  Lit eq(CnfBuilder& b, int value) const;
+
+  /// Literal for (var <= bound). Cached. One-hot uses an order-encoding
+  /// ladder; binary uses a comparator circuit.
+  Lit le(CnfBuilder& b, int bound) const;
+
+  /// Hard-assert (*this < other): gate dependency ordering.
+  void assert_lt(CnfBuilder& b, const FdVar& other) const;
+  /// Hard-assert (*this <= other): block-model dependency ordering.
+  void assert_le(CnfBuilder& b, const FdVar& other) const;
+
+  /// Read the value from a satisfying model.
+  int decode(const sat::Solver& s) const;
+
+  /// Suggest an initial value via solver phase hints (domain-guided search,
+  /// paper §V future work). Purely heuristic - never constrains the model.
+  void suggest(sat::Solver& s, int value) const;
+
+ private:
+  // Order-encoding ladder for one-hot: ladder_[t] <-> (var <= t). Built
+  // lazily on the first comparison query.
+  void build_ladder(CnfBuilder& b) const;
+
+  int domain_ = 0;
+  VarEncoding encoding_ = VarEncoding::kBinary;
+  std::vector<Lit> onehot_;            // one-hot indicators
+  encode::BitVec bits_;                // binary bits
+  mutable std::vector<Lit> ladder_;    // one-hot order encoding
+  mutable std::unordered_map<int, Lit> le_cache_;
+};
+
+}  // namespace olsq2::layout

@@ -1,0 +1,65 @@
+#include "layout/json.h"
+
+#include <sstream>
+
+namespace olsq2::layout {
+
+namespace {
+
+void append_int_array(std::ostringstream& out, const std::vector<int>& v) {
+  out << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out << ",";
+    out << v[i];
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string result_to_json(const Problem& problem, const Result& result) {
+  std::ostringstream out;
+  out << "{";
+  out << "\"circuit\":\"" << problem.circuit->label() << "\",";
+  out << "\"device\":\"" << problem.device->name() << "\",";
+  out << "\"swap_duration\":" << problem.swap_duration << ",";
+  out << "\"solved\":" << (result.solved ? "true" : "false") << ",";
+  out << "\"transition_based\":" << (result.transition_based ? "true" : "false")
+      << ",";
+  out << "\"depth\":" << result.depth << ",";
+  out << "\"swap_count\":" << result.swap_count << ",";
+  out << "\"gate_times\":";
+  append_int_array(out, result.gate_time);
+  out << ",";
+  out << "\"initial_mapping\":";
+  append_int_array(out, result.mapping.empty() ? std::vector<int>{}
+                                               : result.mapping.front());
+  out << ",";
+  out << "\"final_mapping\":";
+  append_int_array(out, result.mapping.empty() ? std::vector<int>{}
+                                               : result.mapping.back());
+  out << ",";
+  out << "\"swaps\":[";
+  for (std::size_t i = 0; i < result.swaps.size(); ++i) {
+    if (i) out << ",";
+    const device::Edge& e = problem.device->edge(result.swaps[i].edge);
+    out << "{\"edge\":[" << e.p0 << "," << e.p1 << "],\"end_time\":"
+        << result.swaps[i].end_time << "}";
+  }
+  out << "],";
+  out << "\"pareto\":[";
+  for (std::size_t i = 0; i < result.pareto.size(); ++i) {
+    if (i) out << ",";
+    out << "[" << result.pareto[i].first << "," << result.pareto[i].second
+        << "]";
+  }
+  out << "],";
+  out << "\"search\":{\"sat_calls\":" << result.sat_calls
+      << ",\"conflicts\":" << result.conflicts
+      << ",\"wall_ms\":" << result.wall_ms
+      << ",\"hit_budget\":" << (result.hit_budget ? "true" : "false") << "}";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace olsq2::layout

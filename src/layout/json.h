@@ -1,0 +1,25 @@
+// JSON serialization of synthesis results for downstream tooling
+// (visualizers, regression dashboards). No external dependency; the schema
+// is documented in the function comment.
+#pragma once
+
+#include <string>
+
+#include "layout/types.h"
+
+namespace olsq2::layout {
+
+/// Serialize a result as a single JSON object:
+/// {
+///   "circuit": "QAOA(16/24)", "device": "sycamore",
+///   "solved": true, "transition_based": false,
+///   "depth": 9, "swap_count": 3,
+///   "gate_times": [..], "initial_mapping": [..], "final_mapping": [..],
+///   "swaps": [{"edge": [p0, p1], "end_time": t}, ..],
+///   "pareto": [[depth, swaps], ..],
+///   "search": {"sat_calls": n, "conflicts": n, "wall_ms": x,
+///              "hit_budget": false}
+/// }
+std::string result_to_json(const Problem& problem, const Result& result);
+
+}  // namespace olsq2::layout

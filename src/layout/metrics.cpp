@@ -1,0 +1,50 @@
+#include "layout/metrics.h"
+
+#include <cmath>
+
+namespace olsq2::layout {
+
+namespace {
+
+FidelityBreakdown estimate(const Problem& problem, int depth, int swap_count,
+                           const NoiseModel& noise) {
+  FidelityBreakdown out;
+  const circuit::Circuit& c = *problem.circuit;
+  out.single_qubit_gates = c.num_single_qubit_gates();
+  out.two_qubit_gates = c.num_two_qubit_gates();
+  out.swap_cnots = swap_count * noise.cnots_per_swap;
+
+  out.gate_fidelity =
+      std::pow(1.0 - noise.single_qubit_error, out.single_qubit_gates) *
+      std::pow(1.0 - noise.two_qubit_error,
+               out.two_qubit_gates + out.swap_cnots);
+
+  const double schedule_ns = depth * noise.step_duration_ns;
+  const double per_qubit = std::exp(-schedule_ns / noise.coherence_time_ns);
+  out.coherence_fidelity = std::pow(per_qubit, c.num_qubits());
+
+  out.success_rate = out.gate_fidelity * out.coherence_fidelity;
+  return out;
+}
+
+}  // namespace
+
+FidelityBreakdown estimate_success(const Problem& problem, const Result& result,
+                                   const NoiseModel& noise) {
+  int depth = result.depth;
+  if (result.transition_based) {
+    // Each block contributes its gates' critical path (bounded by the block
+    // gate count; approximate with 1 step per block here) and each
+    // transition one SWAP layer of S_D steps.
+    depth = result.depth + (result.depth - 1) * problem.swap_duration;
+  }
+  return estimate(problem, depth, result.swap_count, noise);
+}
+
+FidelityBreakdown estimate_success_counts(const Problem& problem, int depth,
+                                          int swap_count,
+                                          const NoiseModel& noise) {
+  return estimate(problem, depth, swap_count, noise);
+}
+
+}  // namespace olsq2::layout

@@ -1,0 +1,50 @@
+// Success-rate estimation for synthesized circuits.
+//
+// The paper's motivation (§I): NISQ success rate suffers from short
+// coherence times, imperfect gates, and environmental noise, so layout
+// synthesis minimizes depth (execution time) and SWAP count (gate count).
+// This module quantifies that link with the standard product model:
+//
+//   success = Π (1 - e_1)^{#1q}  ·  (1 - e_2)^{#2q + 3·#SWAP}
+//             · Π_q exp(-T · t_step / T_coherence)
+//
+// i.e. every SWAP costs three two-qubit gates and every extra time step
+// costs coherence on every live qubit. Exact synthesizers improve both
+// factors; the estimator makes the improvement reportable.
+#pragma once
+
+#include "layout/types.h"
+
+namespace olsq2::layout {
+
+struct NoiseModel {
+  double single_qubit_error = 1e-4;   // per-gate Pauli error
+  double two_qubit_error = 5e-3;      // per-CNOT error
+  double step_duration_ns = 300.0;    // one scheduling time step
+  double coherence_time_ns = 1.0e5;   // T2-like decay constant (100 us)
+  /// CNOTs per SWAP when expanding inserted SWAPs.
+  int cnots_per_swap = 3;
+};
+
+struct FidelityBreakdown {
+  double gate_fidelity = 1.0;        // product over gate errors
+  double coherence_fidelity = 1.0;   // decoherence over the schedule
+  double success_rate = 1.0;         // product of the two
+  int single_qubit_gates = 0;
+  int two_qubit_gates = 0;
+  int swap_cnots = 0;
+};
+
+/// Estimate the success rate of a synthesis result. For transition-based
+/// results the block count is converted to a depth estimate using the
+/// problem's swap duration per transition.
+FidelityBreakdown estimate_success(const Problem& problem, const Result& result,
+                                   const NoiseModel& noise = {});
+
+/// Convenience: estimate for a routed heuristic result given its depth and
+/// SWAP count (e.g. SABRE output).
+FidelityBreakdown estimate_success_counts(const Problem& problem, int depth,
+                                          int swap_count,
+                                          const NoiseModel& noise = {});
+
+}  // namespace olsq2::layout

@@ -1,0 +1,228 @@
+#include "layout/olsq2.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+namespace olsq2::layout {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Tracks the optimizer's wall-clock budget across SAT calls.
+class BudgetClock {
+ public:
+  explicit BudgetClock(double budget_ms)
+      : start_(Clock::now()), budget_ms_(budget_ms) {}
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  bool expired() const {
+    return budget_ms_ > 0 && elapsed_ms() >= budget_ms_;
+  }
+
+  /// Apply the remaining budget to the solver (no-op when unlimited).
+  void arm(sat::Solver& solver) const {
+    solver.clear_budgets();
+    if (budget_ms_ > 0) {
+      const double remaining = std::max(1.0, budget_ms_ - elapsed_ms());
+      solver.set_time_budget(
+          std::chrono::milliseconds(static_cast<std::int64_t>(remaining)));
+    }
+  }
+
+ private:
+  Clock::time_point start_;
+  double budget_ms_;
+};
+
+/// One SAT call under assumptions, with bookkeeping.
+sat::LBool solve_step(Model& model, std::vector<Lit> assumptions,
+                      const BudgetClock& clock, Result& diag) {
+  clock.arm(model.solver());
+  const sat::LBool status = model.solver().solve(assumptions);
+  diag.sat_calls++;
+  diag.conflicts = model.solver().stats().conflicts;
+  if (status == sat::LBool::kUndef) diag.hit_budget = true;
+  return status;
+}
+
+int next_relaxed_bound(int t_b, const OptimizerOptions& options) {
+  const double r = t_b < 100 ? options.relax_small : options.relax_large;
+  return std::max(t_b + 1, static_cast<int>(std::ceil(r * t_b)));
+}
+
+struct DepthPhaseOutcome {
+  std::unique_ptr<Model> model;  // model in which the solution was found
+  Result best;                   // solved=false on budget exhaustion
+  int optimal_depth = -1;
+};
+
+/// Shared depth-optimization phase; also the first stage of the SWAP sweep.
+DepthPhaseOutcome run_depth_phase(const Problem& problem,
+                                  const EncodingConfig& config,
+                                  const OptimizerOptions& options,
+                                  const BudgetClock& clock, Result& diag) {
+  const circuit::DependencyGraph deps(*problem.circuit);
+  const int t_lb = deps.longest_chain();
+  int t_ub = deps.default_upper_bound();
+
+  DepthPhaseOutcome out;
+  int t_b = t_lb;
+  auto model = std::make_unique<Model>(problem, t_ub, config);
+  model->solver().set_restart_policy(options.restart_policy);
+  model->solver().set_external_interrupt(options.cancel);
+
+  // Phase 1: geometric relaxation until the first satisfying bound.
+  while (true) {
+    if (clock.expired()) return out;
+    const sat::LBool status =
+        solve_step(*model, {model->depth_bound(t_b)}, clock, diag);
+    if (status == sat::LBool::kUndef) return out;
+    if (status == sat::LBool::kTrue) break;
+    if (t_b >= t_ub) {
+      // Even the unconstrained horizon is UNSAT: regenerate with a larger
+      // T_UB (paper §III-B1).
+      t_ub = next_relaxed_bound(t_ub, options);
+      model = std::make_unique<Model>(problem, t_ub, config);
+      model->solver().set_restart_policy(options.restart_policy);
+      model->solver().set_external_interrupt(options.cancel);
+      continue;
+    }
+    t_b = std::min(next_relaxed_bound(t_b, options), t_ub);
+    if (!options.incremental) {
+      model = std::make_unique<Model>(problem, t_ub, config);
+      model->solver().set_restart_policy(options.restart_policy);
+      model->solver().set_external_interrupt(options.cancel);
+    }
+  }
+
+  out.best = model->extract();
+  // Phase 2: decrement to the first UNSAT.
+  t_b = out.best.depth - 1;
+  while (t_b >= t_lb) {
+    if (clock.expired()) break;
+    if (!options.incremental) {
+      model = std::make_unique<Model>(problem, t_ub, config);
+      model->solver().set_restart_policy(options.restart_policy);
+      model->solver().set_external_interrupt(options.cancel);
+    }
+    const sat::LBool status =
+        solve_step(*model, {model->depth_bound(t_b)}, clock, diag);
+    if (status != sat::LBool::kTrue) break;
+    out.best = model->extract();
+    t_b = out.best.depth - 1;
+  }
+  out.model = std::move(model);
+  out.optimal_depth = out.best.depth;
+  return out;
+}
+
+void merge_diagnostics(Result& result, const Result& diag,
+                       const BudgetClock& clock) {
+  result.sat_calls = diag.sat_calls;
+  result.conflicts = diag.conflicts;
+  result.hit_budget = diag.hit_budget || clock.expired();
+  result.wall_ms = clock.elapsed_ms();
+}
+
+}  // namespace
+
+Result synthesize_depth_optimal(const Problem& problem,
+                                const EncodingConfig& config,
+                                const OptimizerOptions& options) {
+  const BudgetClock clock(options.time_budget_ms);
+  Result diag;
+  DepthPhaseOutcome outcome =
+      run_depth_phase(problem, config, options, clock, diag);
+  Result result = outcome.best;
+  merge_diagnostics(result, diag, clock);
+  return result;
+}
+
+Result synthesize_swap_optimal(const Problem& problem,
+                               const EncodingConfig& config,
+                               const OptimizerOptions& options) {
+  const BudgetClock clock(options.time_budget_ms);
+  Result diag;
+  DepthPhaseOutcome outcome =
+      run_depth_phase(problem, config, options, clock, diag);
+  if (!outcome.best.solved) {
+    Result result = outcome.best;
+    merge_diagnostics(result, diag, clock);
+    return result;
+  }
+
+  Model* model = outcome.model.get();
+  std::unique_ptr<Model> rebuilt;  // owns any later, larger-horizon model
+  Result best = outcome.best;
+  std::vector<std::pair<int, int>> pareto;
+  int depth_bound = outcome.optimal_depth;
+  int prev_depth_swaps = -1;
+
+  while (true) {
+    // Iterative descent on the SWAP bound at this depth (paper §III-B2):
+    // start from the incumbent solution's count and tighten by one.
+    int incumbent = best.swap_count;
+    while (incumbent > 0) {
+      if (clock.expired()) break;
+      const std::vector<Lit> assumptions = {
+          model->depth_bound(depth_bound),
+          model->swap_bound(incumbent - 1)};
+      const sat::LBool status = solve_step(*model, assumptions, clock, diag);
+      if (status != sat::LBool::kTrue) break;
+      Result candidate = model->extract();
+      if (candidate.swap_count < best.swap_count ||
+          (candidate.swap_count == best.swap_count &&
+           candidate.depth < best.depth)) {
+        best = candidate;
+      }
+      incumbent = std::min(incumbent - 1, candidate.swap_count);
+    }
+    pareto.emplace_back(depth_bound, best.swap_count);
+
+    // Termination: optimum cannot improve, the previous depth relaxation
+    // brought no gain (Pareto-terminal, paper condition 2), or the budget
+    // is gone.
+    if (best.swap_count == 0 || clock.expired() || diag.hit_budget) break;
+    if (prev_depth_swaps >= 0 && best.swap_count >= prev_depth_swaps) break;
+    prev_depth_swaps = best.swap_count;
+
+    // Relax the depth bound by one, regenerating a larger-horizon model if
+    // the current one cannot represent it.
+    depth_bound++;
+    if (depth_bound >= model->t_ub()) {
+      const int new_ub = static_cast<int>(std::ceil(1.5 * model->t_ub()));
+      rebuilt = std::make_unique<Model>(problem, new_ub, config);
+      rebuilt->solver().set_restart_policy(options.restart_policy);
+      rebuilt->solver().set_external_interrupt(options.cancel);
+      model = rebuilt.get();
+    }
+  }
+
+  best.pareto = std::move(pareto);
+  merge_diagnostics(best, diag, clock);
+  return best;
+}
+
+Result solve_fixed(const Problem& problem, int t_ub, int swap_bound,
+                   const EncodingConfig& config, double time_budget_ms) {
+  const BudgetClock clock(time_budget_ms);
+  Result diag;
+  Model model(problem, t_ub, config);
+  if (swap_bound >= 0) {
+    model.assert_swap_bound_hard(swap_bound, config.cardinality);
+  }
+  const sat::LBool status = solve_step(model, {}, clock, diag);
+  Result result;
+  if (status == sat::LBool::kTrue) result = model.extract();
+  merge_diagnostics(result, diag, clock);
+  return result;
+}
+
+}  // namespace olsq2::layout

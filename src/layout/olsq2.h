@@ -1,0 +1,40 @@
+// High-level OLSQ2 synthesis entry points (paper §III-B).
+//
+// Depth optimization: start from the dependency lower bound T_LB, relax the
+// bound geometrically (x1.3 below 100, x1.1 above) until the first SAT, then
+// decrement to the first UNSAT; the last SAT bound is optimal. SWAP
+// optimization: 2-D Pareto sweep - at each depth bound run iterative descent
+// on the SWAP bound (monotone solution structure, §III-B2), then relax the
+// depth and retry, stopping when the SWAP count stops improving or the time
+// budget expires. Both loops run on one incrementally-solved model with
+// bounds supplied as assumption literals.
+#pragma once
+
+#include "layout/model.h"
+#include "layout/types.h"
+
+namespace olsq2::layout {
+
+/// Find a depth-optimal layout. `result.solved` is false only if the time
+/// budget expired before any satisfying solution was found.
+Result synthesize_depth_optimal(const Problem& problem,
+                                const EncodingConfig& config = {},
+                                const OptimizerOptions& options = {});
+
+/// Pareto sweep over (depth, SWAP count); returns the solution with the
+/// fewest SWAPs found (ties broken toward smaller depth). `result.pareto`
+/// holds the explored trade-off points.
+Result synthesize_swap_optimal(const Problem& problem,
+                               const EncodingConfig& config = {},
+                               const OptimizerOptions& options = {});
+
+/// One-shot satisfiability check with fixed bounds - the experiment shape
+/// used for the paper's encoding studies (Tables I and II). Solves the model
+/// with depth horizon `t_ub` and, when `swap_bound >= 0`, a hard SWAP-count
+/// constraint in the configured cardinality encoding. Returns the decoded
+/// result if SAT.
+Result solve_fixed(const Problem& problem, int t_ub, int swap_bound,
+                   const EncodingConfig& config = {},
+                   double time_budget_ms = 0.0);
+
+}  // namespace olsq2::layout

@@ -1,0 +1,101 @@
+#include "layout/portfolio.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "layout/olsq2.h"
+#include "layout/tb.h"
+
+namespace olsq2::layout {
+
+std::vector<PortfolioEntry> default_portfolio(Objective objective,
+                                              const OptimizerOptions& base) {
+  std::vector<PortfolioEntry> entries;
+  auto add = [&](EncodingConfig config, sat::Solver::RestartPolicy policy,
+                 const std::string& suffix) {
+    PortfolioEntry entry;
+    entry.config = config;
+    entry.options = base;
+    entry.options.restart_policy = policy;
+    entry.name = config.label() + suffix;
+    entries.push_back(std::move(entry));
+  };
+
+  EncodingConfig bv_pair;  // defaults
+  EncodingConfig bv_chan = bv_pair;
+  bv_chan.injectivity = InjectivityEncoding::kChanneling;
+
+  add(bv_pair, sat::Solver::RestartPolicy::kGlucose, "+glucose");
+  add(bv_pair, sat::Solver::RestartPolicy::kLuby, "+luby");
+  add(bv_chan, sat::Solver::RestartPolicy::kAlternating, "+alt");
+  if (objective == Objective::kSwap) {
+    EncodingConfig bv_seq = bv_pair;
+    bv_seq.cardinality = CardEncoding::kSeqCounter;
+    add(bv_seq, sat::Solver::RestartPolicy::kAlternating, "+seq+alt");
+  }
+  return entries;
+}
+
+PortfolioResult synthesize_portfolio(const Problem& problem,
+                                     Objective objective,
+                                     std::vector<PortfolioEntry> entries) {
+  PortfolioResult result;
+  result.all.resize(entries.size());
+  if (entries.empty()) return result;
+
+  std::atomic<bool> cancel{false};
+  std::mutex mutex;
+  int winner = -1;
+
+  auto worker = [&](std::size_t index) {
+    PortfolioEntry& entry = entries[index];
+    entry.options.cancel = &cancel;
+    Result r = objective == Objective::kDepth
+                   ? synthesize_depth_optimal(problem, entry.config,
+                                              entry.options)
+                   : synthesize_swap_optimal(problem, entry.config,
+                                             entry.options);
+    std::lock_guard<std::mutex> lock(mutex);
+    result.all[index] = std::move(r);
+    const Result& mine = result.all[index];
+    // A complete (non-budget-hit) optimal answer wins the race; the first
+    // one to arrive cancels everyone else.
+    if (mine.solved && !mine.hit_budget && winner < 0) {
+      winner = static_cast<int>(index);
+      cancel.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    threads.emplace_back(worker, i);
+  }
+  for (auto& t : threads) t.join();
+
+  if (winner >= 0) {
+    result.winner = winner;
+    result.best = result.all[winner];
+    return result;
+  }
+  // Nobody finished cleanly: fall back to the best partial answer.
+  for (std::size_t i = 0; i < result.all.size(); ++i) {
+    const Result& r = result.all[i];
+    if (!r.solved) continue;
+    const bool better =
+        !result.best.solved ||
+        (objective == Objective::kDepth
+             ? r.depth < result.best.depth
+             : r.swap_count < result.best.swap_count ||
+                   (r.swap_count == result.best.swap_count &&
+                    r.depth < result.best.depth));
+    if (better) {
+      result.best = r;
+      result.winner = static_cast<int>(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace olsq2::layout

@@ -1,0 +1,220 @@
+#include "layout/verifier.h"
+
+#include <set>
+#include <sstream>
+
+#include "circuit/dependency.h"
+
+namespace olsq2::layout {
+
+namespace {
+
+std::string describe_gate(const circuit::Circuit& c, int g) {
+  std::ostringstream out;
+  const circuit::Gate& gate = c.gate(g);
+  out << "gate " << g << " (" << gate.name << " q" << gate.q0;
+  if (gate.is_two_qubit()) out << ", q" << gate.q1;
+  out << ")";
+  return out.str();
+}
+
+void check_injectivity(const Problem& problem, const Result& result,
+                       Verdict& verdict) {
+  const int num_q = problem.circuit->num_qubits();
+  for (std::size_t t = 0; t < result.mapping.size(); ++t) {
+    std::set<int> used;
+    for (int q = 0; q < num_q; ++q) {
+      const int p = result.mapping[t][q];
+      if (p < 0 || p >= problem.device->num_qubits()) {
+        verdict.fail("time " + std::to_string(t) + ": q" + std::to_string(q) +
+                     " mapped outside the device");
+        continue;
+      }
+      if (!used.insert(p).second) {
+        verdict.fail("time " + std::to_string(t) + ": physical qubit " +
+                     std::to_string(p) + " hosts two program qubits");
+      }
+    }
+  }
+}
+
+void check_dependencies(const Problem& problem, const Result& result,
+                        bool strict, Verdict& verdict) {
+  const circuit::DependencyGraph deps(*problem.circuit);
+  for (const auto& [earlier, later] : deps.pairs()) {
+    const int te = result.gate_time[earlier];
+    const int tl = result.gate_time[later];
+    const bool ok = strict ? te < tl : te <= tl;
+    if (!ok) {
+      verdict.fail(describe_gate(*problem.circuit, earlier) + " at " +
+                   std::to_string(te) + " does not precede " +
+                   describe_gate(*problem.circuit, later) + " at " +
+                   std::to_string(tl));
+    }
+  }
+}
+
+void check_adjacency(const Problem& problem, const Result& result,
+                     Verdict& verdict) {
+  const circuit::Circuit& c = *problem.circuit;
+  for (int g = 0; g < c.num_gates(); ++g) {
+    const circuit::Gate& gate = c.gate(g);
+    const int t = result.gate_time[g];
+    if (t < 0 || t >= static_cast<int>(result.mapping.size())) {
+      verdict.fail(describe_gate(c, g) + " scheduled outside the mapping range");
+      continue;
+    }
+    if (!gate.is_two_qubit()) continue;
+    const int p0 = result.mapping[t][gate.q0];
+    const int p1 = result.mapping[t][gate.q1];
+    if (!problem.device->adjacent(p0, p1)) {
+      verdict.fail(describe_gate(c, g) + " at time " + std::to_string(t) +
+                   " spans non-adjacent physical qubits " + std::to_string(p0) +
+                   " and " + std::to_string(p1));
+    }
+  }
+}
+
+// Mapping evolution for time-resolved results: the mapping at t derives
+// from t-1 by applying exactly the SWAPs finishing at t.
+void check_evolution(const Problem& problem, const Result& result,
+                     Verdict& verdict) {
+  const int num_q = problem.circuit->num_qubits();
+  for (std::size_t t = 1; t < result.mapping.size(); ++t) {
+    // Swap permutation at this step.
+    std::vector<int> perm(problem.device->num_qubits());
+    for (std::size_t p = 0; p < perm.size(); ++p) perm[p] = static_cast<int>(p);
+    for (const SwapOp& s : result.swaps) {
+      if (s.end_time != static_cast<int>(t)) continue;
+      const device::Edge& e = problem.device->edge(s.edge);
+      std::swap(perm[e.p0], perm[e.p1]);
+    }
+    for (int q = 0; q < num_q; ++q) {
+      const int expected = perm[result.mapping[t - 1][q]];
+      if (result.mapping[t][q] != expected) {
+        verdict.fail("time " + std::to_string(t) + ": q" + std::to_string(q) +
+                     " moved from " + std::to_string(result.mapping[t - 1][q]) +
+                     " to " + std::to_string(result.mapping[t][q]) +
+                     " without a matching SWAP");
+      }
+    }
+  }
+}
+
+void check_swap_overlaps(const Problem& problem, const Result& result,
+                         Verdict& verdict) {
+  const int sd = problem.swap_duration;
+  // SWAP vs SWAP on a shared qubit.
+  for (std::size_t i = 0; i < result.swaps.size(); ++i) {
+    const SwapOp& a = result.swaps[i];
+    const device::Edge& ea = problem.device->edge(a.edge);
+    if (a.end_time - sd + 1 < 0) {
+      verdict.fail("SWAP on edge " + std::to_string(a.edge) +
+                   " starts before time 0");
+    }
+    for (std::size_t j = i + 1; j < result.swaps.size(); ++j) {
+      const SwapOp& b = result.swaps[j];
+      const device::Edge& eb = problem.device->edge(b.edge);
+      const bool share = eb.touches(ea.p0) || eb.touches(ea.p1);
+      if (!share) continue;
+      const bool time_overlap =
+          !(a.end_time < b.end_time - sd + 1 || b.end_time < a.end_time - sd + 1);
+      if (time_overlap) {
+        verdict.fail("SWAPs on edges " + std::to_string(a.edge) + " and " +
+                     std::to_string(b.edge) + " overlap around time " +
+                     std::to_string(a.end_time));
+      }
+    }
+  }
+  // SWAP vs gate: during (end-sd, end], the qubits on the swap's edge (as
+  // positioned at the swap's end time) may not host gates.
+  const circuit::Circuit& c = *problem.circuit;
+  for (const SwapOp& s : result.swaps) {
+    const device::Edge& e = problem.device->edge(s.edge);
+    if (s.end_time >= static_cast<int>(result.mapping.size())) continue;
+    for (int g = 0; g < c.num_gates(); ++g) {
+      const int tg = result.gate_time[g];
+      if (tg <= s.end_time - sd || tg > s.end_time) continue;
+      const circuit::Gate& gate = c.gate(g);
+      for (const int q : {gate.q0, gate.q1}) {
+        if (q < 0) continue;
+        const int p = result.mapping[s.end_time][q];
+        if (e.touches(p)) {
+          verdict.fail(describe_gate(c, g) + " at time " + std::to_string(tg) +
+                       " overlaps the SWAP finishing at " +
+                       std::to_string(s.end_time) + " on edge " +
+                       std::to_string(s.edge));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Verdict verify(const Problem& problem, const Result& result) {
+  Verdict verdict;
+  if (!result.solved) {
+    verdict.fail("result is unsolved");
+    return verdict;
+  }
+  if (result.transition_based) {
+    verdict.fail("time-resolved verifier got a transition-based result");
+    return verdict;
+  }
+  if (static_cast<int>(result.mapping.size()) != result.depth) {
+    verdict.fail("mapping length disagrees with reported depth");
+    return verdict;
+  }
+  check_injectivity(problem, result, verdict);
+  check_dependencies(problem, result, /*strict=*/true, verdict);
+  check_adjacency(problem, result, verdict);
+  check_evolution(problem, result, verdict);
+  check_swap_overlaps(problem, result, verdict);
+  if (static_cast<int>(result.swaps.size()) != result.swap_count) {
+    verdict.fail("swap_count disagrees with swap list");
+  }
+  return verdict;
+}
+
+Verdict verify_transition_based(const Problem& problem, const Result& result) {
+  Verdict verdict;
+  if (!result.solved) {
+    verdict.fail("result is unsolved");
+    return verdict;
+  }
+  if (!result.transition_based) {
+    verdict.fail("transition-based verifier got a time-resolved result");
+    return verdict;
+  }
+  check_injectivity(problem, result, verdict);
+  check_dependencies(problem, result, /*strict=*/false, verdict);
+  check_adjacency(problem, result, verdict);
+
+  // Disjoint SWAP layers and mapping evolution across transitions.
+  const int blocks = result.depth;
+  for (int k = 0; k + 1 < blocks; ++k) {
+    std::set<int> touched;
+    std::vector<int> perm(problem.device->num_qubits());
+    for (std::size_t p = 0; p < perm.size(); ++p) perm[p] = static_cast<int>(p);
+    for (const SwapOp& s : result.swaps) {
+      if (s.end_time != k) continue;
+      const device::Edge& e = problem.device->edge(s.edge);
+      if (!touched.insert(e.p0).second || !touched.insert(e.p1).second) {
+        verdict.fail("transition " + std::to_string(k) +
+                     ": SWAP layer shares a qubit");
+      }
+      std::swap(perm[e.p0], perm[e.p1]);
+    }
+    for (int q = 0; q < problem.circuit->num_qubits(); ++q) {
+      const int expected = perm[result.mapping[k][q]];
+      if (result.mapping[k + 1][q] != expected) {
+        verdict.fail("transition " + std::to_string(k) + ": q" +
+                     std::to_string(q) + " moved inconsistently");
+      }
+    }
+  }
+  return verdict;
+}
+
+}  // namespace olsq2::layout

@@ -1,0 +1,39 @@
+// Independent validity checker for layout synthesis results.
+//
+// Re-checks the five constraints of paper §II-A directly against the
+// decoded result - no SAT machinery involved - so an encoding bug in any
+// engine cannot hide. Used by the test suite on every engine's output and
+// available to library users as a safety net.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/types.h"
+
+namespace olsq2::layout {
+
+struct Verdict {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+};
+
+/// Check a time-resolved result (OLSQ2 / OLSQ baseline output):
+///  1. mapping injectivity at every time step,
+///  2. gate dependencies execute in order (strictly),
+///  3. two-qubit gates touch adjacent physical qubits at their time step,
+///  4. the mapping evolves only through the reported SWAPs,
+///  5. SWAPs do not overlap gates or other SWAPs on shared qubits.
+Verdict verify(const Problem& problem, const Result& result);
+
+/// Check a transition-based result (TB-OLSQ2 / TB-OLSQ output): injectivity
+/// per block, dependency order (non-strict), per-block adjacency, disjoint
+/// SWAP layers, and mapping evolution across transitions.
+Verdict verify_transition_based(const Problem& problem, const Result& result);
+
+}  // namespace olsq2::layout

@@ -1,0 +1,128 @@
+#include "layout/windowed.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "circuit/dependency.h"
+#include "layout/tb.h"
+
+namespace olsq2::layout {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+WindowedResult synthesize_windowed_swap(const Problem& problem,
+                                        const WindowedOptions& options,
+                                        const EncodingConfig& config) {
+  const Clock::time_point start = Clock::now();
+  auto elapsed_ms = [&] {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+  auto expired = [&] {
+    return options.time_budget_ms > 0 && elapsed_ms() >= options.time_budget_ms;
+  };
+
+  WindowedResult result;
+  const circuit::Circuit& circ = *problem.circuit;
+  const circuit::DependencyGraph deps(circ);
+
+  // Split dependency layers into windows of ~gates_per_window gates.
+  std::vector<circuit::Circuit> windows;
+  {
+    circuit::Circuit current(circ.num_qubits(), circ.name() + "_win");
+    for (const auto& layer : deps.asap_layers()) {
+      if (current.num_gates() > 0 &&
+          current.num_gates() + static_cast<int>(layer.size()) >
+              options.gates_per_window) {
+        windows.push_back(std::move(current));
+        current = circuit::Circuit(circ.num_qubits(), circ.name() + "_win");
+      }
+      for (const int g : layer) {
+        const circuit::Gate& gate = circ.gate(g);
+        if (gate.is_two_qubit()) {
+          current.add_gate(gate.name, gate.q0, gate.q1, gate.params);
+        } else {
+          current.add_gate(gate.name, gate.q0, gate.params);
+        }
+      }
+    }
+    if (current.num_gates() > 0) windows.push_back(std::move(current));
+  }
+  result.window_count = static_cast<int>(windows.size());
+  if (windows.empty()) {
+    result.solved = true;
+    return result;
+  }
+
+  std::vector<int> mapping;  // exit mapping of the previous window
+  for (const circuit::Circuit& window : windows) {
+    if (expired()) {
+      result.hit_budget = true;
+      result.wall_ms = elapsed_ms();
+      return result;
+    }
+    const Problem sub{&window, problem.device, problem.swap_duration};
+
+    // Block phase: smallest satisfiable block count with the pinned entry.
+    std::unique_ptr<TbModel> model;
+    int model_blocks = 0;  // capacity of the current model
+    int blocks = 1;
+    Result best;
+    while (true) {
+      if (expired()) {
+        result.hit_budget = true;
+        result.wall_ms = elapsed_ms();
+        return result;
+      }
+      if (model == nullptr || blocks > model_blocks) {
+        model_blocks = std::max(blocks, std::max(4, 2 * model_blocks));
+        model = std::make_unique<TbModel>(sub, model_blocks, config);
+        if (!mapping.empty()) model->pin_initial_mapping(mapping);
+      }
+      if (options.time_budget_ms > 0) {
+        model->solver().set_time_budget(std::chrono::milliseconds(
+            static_cast<std::int64_t>(
+                std::max(1.0, options.time_budget_ms - elapsed_ms()))));
+      }
+      const sat::LBool status =
+          model->solver().solve(std::vector<Lit>{model->block_bound(blocks)});
+      if (status == sat::LBool::kUndef) {
+        result.hit_budget = true;
+        result.wall_ms = elapsed_ms();
+        return result;
+      }
+      if (status == sat::LBool::kTrue) {
+        best = model->extract();
+        break;
+      }
+      blocks++;
+    }
+
+    // Swap descent at this block count.
+    int incumbent = best.swap_count;
+    while (incumbent > 0 && !expired()) {
+      const sat::LBool status = model->solver().solve(std::vector<Lit>{
+          model->block_bound(blocks), model->swap_bound(incumbent - 1)});
+      if (status != sat::LBool::kTrue) break;
+      const Result candidate = model->extract();
+      if (candidate.swap_count < best.swap_count) best = candidate;
+      incumbent = std::min(incumbent - 1, candidate.swap_count);
+    }
+
+    result.window_mappings.push_back(best.mapping.front());
+    result.swap_count += best.swap_count;
+    mapping = best.mapping.back();
+  }
+
+  result.final_mapping = mapping;
+  result.solved = true;
+  result.wall_ms = elapsed_ms();
+  return result;
+}
+
+}  // namespace olsq2::layout

@@ -1,0 +1,40 @@
+// Windowed hybrid synthesis: exact (TB-OLSQ2) optimization per window of
+// consecutive dependency layers, chaining each window's exit mapping into
+// the next window's pinned initial mapping.
+//
+// Addresses the paper's §V scalability limit ("TB-OLSQ2 cannot return a
+// result within the 24-hour limit for [QAOA] circuits with more than 40
+// program qubits"): window size trades global optimality for solve time
+// continuously - one window = full TB-OLSQ2, one layer per window = the
+// SATMap-style slicer. Useful for 1000+ gate circuits where whole-circuit
+// exact synthesis is out of reach.
+#pragma once
+
+#include "layout/types.h"
+
+namespace olsq2::layout {
+
+struct WindowedOptions {
+  /// Target gate count per window (split at dependency-layer boundaries).
+  int gates_per_window = 60;
+  /// Wall-clock budget for the whole synthesis; <= 0 unlimited.
+  double time_budget_ms = 0.0;
+};
+
+struct WindowedResult {
+  bool solved = false;
+  int swap_count = 0;
+  int window_count = 0;
+  double wall_ms = 0.0;
+  bool hit_budget = false;
+  /// Mapping entering each window (window_mappings[0] = initial mapping).
+  std::vector<std::vector<int>> window_mappings;
+  /// Mapping after the final window.
+  std::vector<int> final_mapping;
+};
+
+WindowedResult synthesize_windowed_swap(const Problem& problem,
+                                        const WindowedOptions& options = {},
+                                        const EncodingConfig& config = {});
+
+}  // namespace olsq2::layout

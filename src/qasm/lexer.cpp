@@ -1,0 +1,79 @@
+#include "qasm/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace olsq2::qasm {
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      line++;
+      i++;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') i++;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_')) {
+        j++;
+      }
+      tokens.push_back({TokenKind::kIdentifier,
+                        std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        j++;
+      }
+      tokens.push_back({TokenKind::kNumber, std::string(src.substr(i, j - i)),
+                        line});
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') j++;
+      if (j >= n) throw std::runtime_error("qasm: unterminated string");
+      tokens.push_back({TokenKind::kString,
+                        std::string(src.substr(i + 1, j - i - 1)), line});
+      i = j + 1;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      tokens.push_back({TokenKind::kSymbol, "->", line});
+      i += 2;
+      continue;
+    }
+    static constexpr std::string_view kSingles = ";,()[]{}+-*/^=<>";
+    if (kSingles.find(c) != std::string_view::npos) {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), line});
+      i++;
+      continue;
+    }
+    throw std::runtime_error("qasm: illegal character '" + std::string(1, c) +
+                             "' at line " + std::to_string(line));
+  }
+  tokens.push_back({TokenKind::kEof, "", line});
+  return tokens;
+}
+
+}  // namespace olsq2::qasm

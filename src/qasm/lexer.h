@@ -1,0 +1,28 @@
+// Minimal lexer for the OpenQASM 2.0 subset used by layout synthesis
+// benchmarks (qreg/creg declarations, gate applications, barrier/measure).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace olsq2::qasm {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kSymbol,  // one of ; , ( ) [ ] { } -> + - * / ^
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+/// Tokenize QASM source; throws std::runtime_error on illegal characters.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace olsq2::qasm

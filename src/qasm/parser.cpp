@@ -1,0 +1,181 @@
+#include "qasm/parser.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "qasm/lexer.h"
+
+namespace olsq2::qasm {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view src, std::string name)
+      : tokens_(tokenize(src)), circuit_(0, std::move(name)) {}
+
+  circuit::Circuit run() {
+    while (!at_eof()) statement();
+    return std::move(circuit_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("qasm: line " + std::to_string(peek().line) +
+                             ": " + message);
+  }
+
+  const Token& peek() const { return tokens_[pos_]; }
+  bool at_eof() const { return peek().kind == TokenKind::kEof; }
+  Token next() { return tokens_[pos_++]; }
+
+  bool accept_symbol(const std::string& s) {
+    if (peek().kind == TokenKind::kSymbol && peek().text == s) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_symbol(const std::string& s) {
+    if (!accept_symbol(s)) fail("expected '" + s + "', got '" + peek().text + "'");
+  }
+
+  std::string expect_identifier() {
+    if (peek().kind != TokenKind::kIdentifier) {
+      fail("expected identifier, got '" + peek().text + "'");
+    }
+    return next().text;
+  }
+
+  int expect_int() {
+    if (peek().kind != TokenKind::kNumber) {
+      fail("expected number, got '" + peek().text + "'");
+    }
+    return std::stoi(next().text);
+  }
+
+  void skip_to_semicolon() {
+    while (!at_eof() && !accept_symbol(";")) pos_++;
+  }
+
+  // Consume a parenthesized parameter list verbatim (balanced parens).
+  std::string parse_params() {
+    std::string text;
+    int nesting = 1;
+    while (!at_eof()) {
+      const Token& t = peek();
+      if (t.kind == TokenKind::kSymbol && t.text == "(") nesting++;
+      if (t.kind == TokenKind::kSymbol && t.text == ")") {
+        nesting--;
+        if (nesting == 0) {
+          pos_++;
+          return text;
+        }
+      }
+      text += next().text;
+    }
+    fail("unterminated parameter list");
+  }
+
+  // qubit argument: reg[idx] or bare reg (only size-1 regs supported bare).
+  int parse_qubit_arg() {
+    const std::string reg = expect_identifier();
+    const auto it = qregs_.find(reg);
+    if (it == qregs_.end()) fail("unknown qreg '" + reg + "'");
+    int index = 0;
+    if (accept_symbol("[")) {
+      index = expect_int();
+      expect_symbol("]");
+    } else if (it->second.size != 1) {
+      fail("whole-register gate application is not supported");
+    }
+    if (index < 0 || index >= it->second.size) {
+      fail("qubit index out of range for '" + reg + "'");
+    }
+    return it->second.offset + index;
+  }
+
+  void statement() {
+    const Token t = peek();
+    if (t.kind != TokenKind::kIdentifier) fail("expected statement");
+    const std::string head = t.text;
+    if (head == "OPENQASM") {
+      pos_++;
+      skip_to_semicolon();
+      return;
+    }
+    if (head == "include") {
+      pos_++;
+      skip_to_semicolon();
+      return;
+    }
+    if (head == "qreg" || head == "creg") {
+      pos_++;
+      const std::string name = expect_identifier();
+      expect_symbol("[");
+      const int size = expect_int();
+      expect_symbol("]");
+      expect_symbol(";");
+      if (head == "qreg") {
+        if (qregs_.count(name) != 0) fail("duplicate qreg '" + name + "'");
+        qregs_[name] = {circuit_.num_qubits(), size};
+        circuit_.ensure_qubits(circuit_.num_qubits() + size);
+      }
+      return;
+    }
+    if (head == "barrier" || head == "measure" || head == "reset") {
+      pos_++;
+      skip_to_semicolon();  // scheduling hints / readout: no synthesis effect
+      return;
+    }
+    if (head == "gate" || head == "opaque") {
+      fail("custom gate definitions are not supported; decompose first");
+    }
+    // Gate application.
+    pos_++;
+    std::string params;
+    if (accept_symbol("(")) params = parse_params();
+    std::vector<int> args;
+    args.push_back(parse_qubit_arg());
+    while (accept_symbol(",")) args.push_back(parse_qubit_arg());
+    expect_symbol(";");
+    if (args.size() == 1) {
+      circuit_.add_gate(head, args[0], params);
+    } else if (args.size() == 2) {
+      if (args[0] == args[1]) fail("two-qubit gate with repeated qubit");
+      circuit_.add_gate(head, args[0], args[1], params);
+    } else {
+      fail("gate '" + head + "' has " + std::to_string(args.size()) +
+           " qubit arguments; only 1- and 2-qubit gates are supported");
+    }
+  }
+
+  struct Reg {
+    int offset;
+    int size;
+  };
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, Reg> qregs_;
+  circuit::Circuit circuit_;
+};
+
+}  // namespace
+
+circuit::Circuit parse(std::string_view source, std::string circuit_name) {
+  return Parser(source, std::move(circuit_name)).run();
+}
+
+circuit::Circuit parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("qasm: cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), path);
+}
+
+}  // namespace olsq2::qasm

@@ -1,0 +1,25 @@
+// Recursive-descent parser for the OpenQASM 2.0 subset appearing in layout
+// synthesis benchmarks. Supported statements:
+//   OPENQASM 2.0; include "...";
+//   qreg name[n]; creg name[n];
+//   <gate>(params)? arg (, arg)* ;     e.g.  cx q[0], q[1];
+//   barrier ...; measure a -> c;       (both ignored for synthesis)
+// Multi-qubit registers are flattened into one global program-qubit index
+// space in declaration order. Gates with three or more qubit arguments are
+// rejected (hardware-targeted circuits are expected to be decomposed).
+#pragma once
+
+#include <string_view>
+
+#include "circuit/circuit.h"
+
+namespace olsq2::qasm {
+
+/// Parse QASM source into a Circuit. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+circuit::Circuit parse(std::string_view source, std::string circuit_name = "qasm");
+
+/// Parse a QASM file from disk.
+circuit::Circuit parse_file(const std::string& path);
+
+}  // namespace olsq2::qasm

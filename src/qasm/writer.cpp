@@ -1,0 +1,23 @@
+#include "qasm/writer.h"
+
+#include <sstream>
+
+namespace olsq2::qasm {
+
+std::string write(const circuit::Circuit& c) {
+  std::ostringstream out;
+  out << "OPENQASM 2.0;\n"
+      << "include \"qelib1.inc\";\n"
+      << "// " << c.label() << "\n"
+      << "qreg q[" << c.num_qubits() << "];\n";
+  for (const circuit::Gate& g : c.gates()) {
+    out << g.name;
+    if (!g.params.empty()) out << "(" << g.params << ")";
+    out << " q[" << g.q0 << "]";
+    if (g.is_two_qubit()) out << ", q[" << g.q1 << "]";
+    out << ";\n";
+  }
+  return out.str();
+}
+
+}  // namespace olsq2::qasm

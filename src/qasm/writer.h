@@ -1,0 +1,14 @@
+// OpenQASM 2.0 output for circuits (including routed circuits produced by
+// layout synthesis, where qubit indices refer to physical qubits).
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace olsq2::qasm {
+
+/// Serialize a circuit as OpenQASM 2.0 with a single register `q`.
+std::string write(const circuit::Circuit& c);
+
+}  // namespace olsq2::qasm

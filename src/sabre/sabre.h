@@ -1,0 +1,41 @@
+// SABRE heuristic layout synthesis (Li, Ding, Xie - ASPLOS'19), the
+// paper's heuristic baseline for Tables III and IV.
+//
+// From-scratch reimplementation: front-layer routing driven by a
+// distance-based cost with extended-set lookahead and decay, plus the
+// bidirectional initial-mapping refinement (forward/backward traversal
+// passes). Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/device.h"
+#include "layout/types.h"
+
+namespace olsq2::sabre {
+
+struct SabreOptions {
+  int reverse_passes = 3;      // bidirectional initial-mapping iterations
+  double extended_weight = 0.5;  // W in the lookahead term
+  int extended_size = 20;      // size cap of the extended set
+  double decay_increment = 0.001;
+  int decay_reset_interval = 5;  // rounds between decay resets
+  std::uint64_t seed = 7;      // initial-mapping shuffle seed
+};
+
+struct SabreResult {
+  std::vector<int> initial_mapping;  // program qubit -> physical qubit
+  std::vector<int> final_mapping;
+  int swap_count = 0;
+  /// Depth of the routed circuit with SWAPs expanded to `swap_duration`
+  /// time steps and all other gates taking one step.
+  int depth = 0;
+  /// Routed gate sequence in physical qubit ids ("swap" gates inserted).
+  circuit::Circuit routed;
+};
+
+SabreResult route(const layout::Problem& problem, const SabreOptions& options = {});
+
+}  // namespace olsq2::sabre

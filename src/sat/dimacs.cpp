@@ -1,0 +1,64 @@
+#include "sat/dimacs.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace olsq2::sat {
+
+std::string to_dimacs(int num_vars, const std::vector<Clause>& clauses) {
+  std::ostringstream out;
+  out << "p cnf " << num_vars << " " << clauses.size() << "\n";
+  for (const Clause& clause : clauses) {
+    for (const Lit l : clause) {
+      out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+DimacsProblem parse_dimacs(std::string_view text) {
+  DimacsProblem problem;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool have_header = false;
+  std::size_t declared_clauses = 0;
+  Clause current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, cnf;
+      header >> p >> cnf >> problem.num_vars >> declared_clauses;
+      if (cnf != "cnf" || !header) {
+        throw std::runtime_error("dimacs: malformed problem line");
+      }
+      have_header = true;
+      continue;
+    }
+    std::istringstream body(line);
+    long long value = 0;
+    while (body >> value) {
+      if (value == 0) {
+        problem.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const int var = static_cast<int>(value > 0 ? value : -value) - 1;
+      if (!have_header || var >= problem.num_vars) {
+        throw std::runtime_error("dimacs: literal out of declared range");
+      }
+      current.emplace_back(var, value < 0);
+    }
+  }
+  if (!have_header) throw std::runtime_error("dimacs: missing problem line");
+  if (!current.empty()) {
+    throw std::runtime_error("dimacs: trailing clause without terminating 0");
+  }
+  if (problem.clauses.size() != declared_clauses) {
+    // Tolerated by most solvers; we only warn via exception-free behavior.
+  }
+  return problem;
+}
+
+}  // namespace olsq2::sat

@@ -1,0 +1,29 @@
+// DIMACS CNF import/export.
+//
+// The paper extracts its benchmark instances with Z3's Solver.sexpr() to
+// time encodings in isolation; our analog dumps the bit-blasted instance as
+// standard DIMACS so it can be cross-checked with any external SAT solver.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace olsq2::sat {
+
+struct DimacsProblem {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Serialize a clause set in DIMACS format ("p cnf <vars> <clauses>").
+/// Variables are printed 1-based, as the format requires.
+std::string to_dimacs(int num_vars, const std::vector<Clause>& clauses);
+
+/// Parse DIMACS text (comments and the problem line are honored; extra
+/// whitespace tolerated). Throws std::runtime_error on malformed input.
+DimacsProblem parse_dimacs(std::string_view text);
+
+}  // namespace olsq2::sat

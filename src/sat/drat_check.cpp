@@ -1,0 +1,168 @@
+#include "sat/drat_check.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace olsq2::sat {
+
+namespace {
+
+// Minimal two-watched-literal propagation engine for RUP checks.
+class RupEngine {
+ public:
+  void ensure_var(Var v) {
+    const std::size_t need = 2 * static_cast<std::size_t>(v) + 2;
+    if (watches_.size() < need) watches_.resize(need);
+    if (value_.size() < static_cast<std::size_t>(v) + 1) {
+      value_.resize(v + 1, LBool::kUndef);
+    }
+  }
+
+  // Returns the clause id, or -1 if the clause is empty (contradiction
+  // recorded) or unit (enqueued as a fact).
+  void add_clause(const Clause& clause) {
+    Clause c = clause;
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+      if (c[i] == ~c[i + 1]) return;  // tautology: never propagates
+    }
+    for (const Lit l : c) ensure_var(l.var());
+    const int id = static_cast<int>(clauses_.size());
+    clauses_.push_back(c);
+    alive_.push_back(true);
+    if (c.empty()) {
+      contradiction_ = true;
+      return;
+    }
+    if (c.size() == 1) {
+      facts_.push_back(c[0]);
+      return;
+    }
+    watches_[(~c[0]).code()].push_back(id);
+    watches_[(~c[1]).code()].push_back(id);
+  }
+
+  void remove_clause(const Clause& clause) {
+    Clause c = clause;
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    for (std::size_t i = 0; i < clauses_.size(); ++i) {
+      if (alive_[i] && clauses_[i] == c) {
+        alive_[i] = false;  // lazily skipped during propagation
+        return;
+      }
+    }
+    // Deleting an unknown clause is harmless for soundness.
+  }
+
+  /// RUP check: does asserting the negation of every literal in `clause`
+  /// (on top of the database facts) propagate to a conflict?
+  bool is_rup(const Clause& clause) {
+    if (contradiction_) return true;
+    trail_.clear();
+    bool conflict = false;
+    // Seed with database facts and the negated clause.
+    for (const Lit l : facts_) {
+      if (!enqueue(l)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) {
+      for (const Lit l : clause) {
+        if (!enqueue(~l)) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    std::size_t head = 0;
+    while (!conflict && head < trail_.size()) {
+      const Lit p = trail_[head++];
+      auto& list = watches_[p.code()];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const int id = list[i];
+        if (!alive_[id]) continue;  // dropped clause: unwatch lazily
+        Clause& c = clauses_[id];
+        if (c[0] == ~p) std::swap(c[0], c[1]);
+        if (value_of(c[0]) == LBool::kTrue) {
+          list[keep++] = id;
+          continue;
+        }
+        bool moved = false;
+        for (std::size_t k = 2; k < c.size(); ++k) {
+          if (value_of(c[k]) != LBool::kFalse) {
+            std::swap(c[1], c[k]);
+            watches_[(~c[1]).code()].push_back(id);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+        list[keep++] = id;
+        if (value_of(c[0]) == LBool::kFalse) {
+          conflict = true;
+          // keep remaining watchers
+          for (std::size_t k = i + 1; k < list.size(); ++k) {
+            if (alive_[list[k]]) list[keep++] = list[k];
+          }
+          break;
+        }
+        if (!enqueue(c[0])) conflict = true;
+      }
+      list.resize(keep);
+    }
+    // Undo all assignments (the check is stateless between steps).
+    for (const Lit l : trail_) value_[l.var()] = LBool::kUndef;
+    return conflict;
+  }
+
+ private:
+  LBool value_of(Lit l) const { return lit_value(value_[l.var()], l.sign()); }
+
+  bool enqueue(Lit l) {
+    const LBool v = value_of(l);
+    if (v == LBool::kFalse) return false;
+    if (v == LBool::kTrue) return true;
+    value_[l.var()] = l.sign() ? LBool::kFalse : LBool::kTrue;
+    trail_.push_back(l);
+    return true;
+  }
+
+  std::vector<Clause> clauses_;
+  std::vector<bool> alive_;
+  std::vector<std::vector<int>> watches_;  // lit code -> clause ids
+  std::vector<Lit> facts_;                 // unit clauses
+  std::vector<LBool> value_;
+  std::vector<Lit> trail_;
+  bool contradiction_ = false;
+};
+
+}  // namespace
+
+DratCheckResult check_drat(const std::vector<Clause>& original_cnf,
+                           const Proof& proof) {
+  DratCheckResult result;
+  RupEngine engine;
+  for (const Clause& c : original_cnf) engine.add_clause(c);
+  for (std::size_t i = 0; i < proof.steps().size(); ++i) {
+    const ProofStep& step = proof.steps()[i];
+    if (step.deletion) {
+      engine.remove_clause(step.clause);
+      continue;
+    }
+    if (!engine.is_rup(step.clause)) {
+      result.first_invalid_step = static_cast<int>(i);
+      return result;
+    }
+    if (step.clause.empty()) result.proves_unsat = true;
+    engine.add_clause(step.clause);
+  }
+  result.all_steps_valid = true;
+  result.first_invalid_step = -1;
+  return result;
+}
+
+}  // namespace olsq2::sat

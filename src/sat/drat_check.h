@@ -1,0 +1,29 @@
+// Forward RUP (reverse unit propagation) checker for DRAT proofs.
+//
+// Independent of the solver: its own clause store and unit propagation.
+// Each addition step C must be RUP with respect to the current database
+// (asserting the negation of every literal of C and propagating to fixpoint
+// must yield a conflict); deletions simply drop clauses. A proof certifies
+// unsatisfiability when some step derives the empty clause.
+#pragma once
+
+#include <vector>
+
+#include "sat/proof.h"
+#include "sat/types.h"
+
+namespace olsq2::sat {
+
+struct DratCheckResult {
+  bool all_steps_valid = false;
+  bool proves_unsat = false;
+  /// Index of the first invalid step (-1 if none).
+  int first_invalid_step = -1;
+};
+
+/// Check `proof` against the original CNF (the clauses the solver was given,
+/// pre-normalization is fine - RUP subsumes normalization).
+DratCheckResult check_drat(const std::vector<Clause>& original_cnf,
+                           const Proof& proof);
+
+}  // namespace olsq2::sat

@@ -1,0 +1,25 @@
+// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+#pragma once
+
+#include <cstdint>
+
+namespace olsq2::sat {
+
+/// i-th element (1-based) of the Luby sequence.
+inline std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence containing index i and its position in it.
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    seq++;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    seq--;
+    i = i % size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace olsq2::sat

@@ -1,0 +1,302 @@
+#include "sat/preprocess.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace olsq2::sat {
+
+namespace {
+
+// Normalize: sort and deduplicate; returns false for tautologies.
+bool normalize(Clause& c) {
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (c[i] == ~c[i + 1]) return false;
+  }
+  return true;
+}
+
+// Is a (sorted) a subset of b (sorted)?
+bool subset(const Clause& a, const Clause& b) {
+  if (a.size() > b.size()) return false;
+  std::size_t j = 0;
+  for (const Lit l : a) {
+    while (j < b.size() && b[j] < l) j++;
+    if (j >= b.size() || !(b[j] == l)) return false;
+    j++;
+  }
+  return true;
+}
+
+// Is a\{skip_a} a subset of b\{skip_b}?
+bool subset_except(const Clause& a, Lit skip_a, const Clause& b, Lit skip_b) {
+  std::size_t j = 0;
+  for (const Lit l : a) {
+    if (l == skip_a) continue;
+    while (j < b.size() && (b[j] < l || b[j] == skip_b)) j++;
+    if (j >= b.size() || !(b[j] == l)) return false;
+    j++;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Preprocessor::run(int num_vars, std::vector<Clause> input,
+                       const PreprocessOptions& options) {
+  output_.clear();
+  eliminations_.clear();
+  stats_ = {};
+
+  std::vector<Clause> clauses;
+  clauses.reserve(input.size());
+  for (Clause& c : input) {
+    if (!normalize(c)) {
+      stats_.removed_tautologies++;
+      continue;
+    }
+    clauses.push_back(std::move(c));
+  }
+
+  std::vector<bool> alive(clauses.size(), true);
+  std::vector<LBool> value(num_vars, LBool::kUndef);
+  std::vector<bool> eliminated(num_vars, false);
+
+  const auto lit_val = [&](Lit l) { return lit_value(value[l.var()], l.sign()); };
+
+  // --- phase helpers -------------------------------------------------------
+
+  // Apply the current root assignment: drop satisfied clauses, strip false
+  // literals, enqueue new units. Returns false on UNSAT.
+  const auto unit_simplify = [&](bool& changed) {
+    bool again = true;
+    while (again) {
+      again = false;
+      for (std::size_t i = 0; i < clauses.size(); ++i) {
+        if (!alive[i]) continue;
+        Clause& c = clauses[i];
+        bool satisfied = false;
+        std::size_t out = 0;
+        for (const Lit l : c) {
+          const LBool v = lit_val(l);
+          if (v == LBool::kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == LBool::kUndef) c[out++] = l;
+        }
+        if (satisfied) {
+          alive[i] = false;
+          changed = true;
+          continue;
+        }
+        if (out != c.size()) {
+          c.resize(out);
+          changed = true;
+        }
+        if (c.empty()) return false;
+        if (c.size() == 1) {
+          value[c[0].var()] = c[0].sign() ? LBool::kFalse : LBool::kTrue;
+          alive[i] = false;
+          stats_.propagated_units++;
+          changed = true;
+          again = true;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Occurrence lists over alive clauses.
+  std::vector<std::vector<int>> occ;
+  const auto build_occ = [&] {
+    occ.assign(2 * static_cast<std::size_t>(num_vars), {});
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      if (!alive[i]) continue;
+      for (const Lit l : clauses[i]) {
+        occ[l.code()].push_back(static_cast<int>(i));
+      }
+    }
+  };
+
+  const auto subsumption_pass = [&](bool& changed) {
+    build_occ();
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      if (!alive[i]) continue;
+      const Clause& c = clauses[i];
+      // Scan the shortest occurrence list among c's literals.
+      const Lit* pivot = nullptr;
+      std::size_t best = SIZE_MAX;
+      for (const Lit& l : c) {
+        if (occ[l.code()].size() < best) {
+          best = occ[l.code()].size();
+          pivot = &l;
+        }
+      }
+      if (pivot == nullptr) continue;
+      for (const int j : occ[pivot->code()]) {
+        if (static_cast<std::size_t>(j) == i || !alive[j]) continue;
+        if (clauses[j].size() >= c.size() && subset(c, clauses[j])) {
+          alive[j] = false;
+          stats_.subsumed_clauses++;
+          changed = true;
+        }
+      }
+    }
+  };
+
+  const auto strengthen_pass = [&](bool& changed) {
+    build_occ();
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      if (!alive[i]) continue;
+      const Clause c = clauses[i];  // copy: target clauses may be this one
+      for (const Lit l : c) {
+        for (const int j : occ[(~l).code()]) {
+          if (!alive[j] || static_cast<std::size_t>(j) == i) continue;
+          Clause& d = clauses[j];
+          // Occurrence lists are rebuilt per pass, so ~l may already have
+          // been removed from d by an earlier strengthening step.
+          if (!std::binary_search(d.begin(), d.end(), ~l)) continue;
+          if (!subset_except(c, l, d, ~l)) continue;
+          // Self-subsuming resolution: drop ~l from d.
+          d.erase(std::remove(d.begin(), d.end(), ~l), d.end());
+          stats_.strengthened_literals++;
+          changed = true;
+          if (d.size() <= 1) {
+            if (d.empty()) return false;
+            value[d[0].var()] = d[0].sign() ? LBool::kFalse : LBool::kTrue;
+            alive[j] = false;
+            stats_.propagated_units++;
+          }
+        }
+      }
+    }
+    return true;
+  };
+
+  const auto eliminate_pass = [&](bool& changed) {
+    build_occ();
+    for (Var v = 0; v < num_vars; ++v) {
+      if (eliminated[v] || value[v] != LBool::kUndef) continue;
+      auto& pos = occ[Lit::pos(v).code()];
+      auto& neg = occ[Lit::neg(v).code()];
+      // Refresh against alive flags.
+      const auto alive_only = [&](std::vector<int>& list) {
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&](int j) { return !alive[j]; }),
+                   list.end());
+      };
+      alive_only(pos);
+      alive_only(neg);
+      if (pos.empty() && neg.empty()) continue;
+      if (static_cast<int>(pos.size()) > options.max_occurrences ||
+          static_cast<int>(neg.size()) > options.max_occurrences) {
+        continue;
+      }
+      // Build non-tautological resolvents.
+      std::vector<Clause> resolvents;
+      bool too_many = false;
+      const int budget = static_cast<int>(pos.size() + neg.size()) +
+                         options.growth_margin;
+      for (const int pi : pos) {
+        for (const int ni : neg) {
+          Clause r;
+          for (const Lit l : clauses[pi]) {
+            if (!(l == Lit::pos(v))) r.push_back(l);
+          }
+          for (const Lit l : clauses[ni]) {
+            if (!(l == Lit::neg(v))) r.push_back(l);
+          }
+          if (!normalize(r)) continue;  // tautology: skip
+          if (r.empty()) return false;  // resolved to the empty clause
+          resolvents.push_back(std::move(r));
+          if (static_cast<int>(resolvents.size()) > budget) {
+            too_many = true;
+            break;
+          }
+        }
+        if (too_many) break;
+      }
+      if (too_many) continue;
+
+      // Commit: record removed clauses for model reconstruction.
+      Elimination elim;
+      elim.var = v;
+      for (const int j : pos) {
+        elim.clauses.push_back(clauses[j]);
+        alive[j] = false;
+      }
+      for (const int j : neg) {
+        elim.clauses.push_back(clauses[j]);
+        alive[j] = false;
+      }
+      eliminations_.push_back(std::move(elim));
+      eliminated[v] = true;
+      stats_.eliminated_vars++;
+      changed = true;
+      for (Clause& r : resolvents) {
+        // New clauses extend the arrays; occ is stale for them until the
+        // next build_occ(), which is fine - passes rebuild it.
+        clauses.push_back(std::move(r));
+        alive.push_back(true);
+      }
+    }
+    return true;
+  };
+
+  // --- fixpoint loop -------------------------------------------------------
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+    if (!unit_simplify(changed)) return false;
+    subsumption_pass(changed);
+    if (!strengthen_pass(changed)) return false;
+    if (!unit_simplify(changed)) return false;
+    if (!eliminate_pass(changed)) return false;
+    if (!changed) break;
+  }
+  bool final_change = false;
+  if (!unit_simplify(final_change)) return false;
+
+  // Emit: alive clauses plus unit clauses for the root assignment.
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (alive[i]) output_.push_back(clauses[i]);
+  }
+  for (Var v = 0; v < num_vars; ++v) {
+    if (value[v] != LBool::kUndef) {
+      output_.push_back({Lit(v, value[v] == LBool::kFalse)});
+    }
+  }
+  return true;
+}
+
+void Preprocessor::extend_model(std::vector<LBool>& model) const {
+  for (auto it = eliminations_.rbegin(); it != eliminations_.rend(); ++it) {
+    const Var v = it->var;
+    // Choose the value satisfying every recorded clause whose other
+    // literals are all false under the (extended) model.
+    LBool chosen = LBool::kUndef;
+    for (const Clause& c : it->clauses) {
+      bool others_satisfied = false;
+      Lit own = kUndefLit;
+      for (const Lit l : c) {
+        if (l.var() == v) {
+          own = l;
+          continue;
+        }
+        if (lit_value(model[l.var()], l.sign()) == LBool::kTrue) {
+          others_satisfied = true;
+          break;
+        }
+      }
+      if (others_satisfied || own.is_undef()) continue;
+      const LBool needed = own.sign() ? LBool::kFalse : LBool::kTrue;
+      // BVE guarantees consistency; assert in debug builds.
+      assert(chosen == LBool::kUndef || chosen == needed);
+      chosen = needed;
+    }
+    model[v] = chosen == LBool::kUndef ? LBool::kFalse : chosen;
+  }
+}
+
+}  // namespace olsq2::sat

@@ -1,0 +1,65 @@
+// SatELite-style CNF preprocessing: root unit propagation, subsumption,
+// self-subsuming resolution (clause strengthening), and bounded variable
+// elimination (BVE) with model reconstruction.
+//
+// Operates on a standalone clause set (e.g. a DIMACS instance or an
+// exported layout model) *before* solving. Not applied inside the
+// incremental optimizer: eliminating a variable that later appears in an
+// assumption or a new clause would be unsound, so preprocessing is an
+// explicit one-shot step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace olsq2::sat {
+
+struct PreprocessOptions {
+  /// Skip BVE for variables with more occurrences than this on either side.
+  int max_occurrences = 10;
+  /// Eliminate only if the resolvent count does not exceed the removed
+  /// clause count by this margin.
+  int growth_margin = 0;
+  /// Fixpoint iteration cap.
+  int max_rounds = 12;
+};
+
+struct PreprocessStats {
+  int removed_tautologies = 0;
+  int propagated_units = 0;
+  int subsumed_clauses = 0;
+  int strengthened_literals = 0;
+  int eliminated_vars = 0;
+};
+
+class Preprocessor {
+ public:
+  /// Simplify the clause set over variables [0, num_vars). Returns false if
+  /// the formula was proven UNSAT during preprocessing.
+  bool run(int num_vars, std::vector<Clause> clauses,
+           const PreprocessOptions& options = {});
+
+  /// The simplified clause set (valid after run() returned true).
+  const std::vector<Clause>& clauses() const { return output_; }
+
+  /// Extend a model of the simplified formula to the original variables
+  /// (fills in eliminated and pure variables). `model[v]` for retained
+  /// variables must already be set.
+  void extend_model(std::vector<LBool>& model) const;
+
+  const PreprocessStats& stats() const { return stats_; }
+
+ private:
+  struct Elimination {
+    Var var;
+    std::vector<Clause> clauses;  // the clauses removed with this variable
+  };
+
+  std::vector<Clause> output_;
+  std::vector<Elimination> eliminations_;  // replay in reverse order
+  PreprocessStats stats_;
+};
+
+}  // namespace olsq2::sat

@@ -1,0 +1,19 @@
+#include "sat/proof.h"
+
+#include <sstream>
+
+namespace olsq2::sat {
+
+std::string Proof::to_drat() const {
+  std::ostringstream out;
+  for (const ProofStep& step : steps_) {
+    if (step.deletion) out << "d ";
+    for (const Lit l : step.clause) {
+      out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << " ";
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+}  // namespace olsq2::sat

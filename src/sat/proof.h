@@ -1,0 +1,46 @@
+// DRAT proof logging.
+//
+// Optimality claims rest on UNSAT answers ("no schedule with depth T-1 /
+// S-1 swaps exists"). With proof logging enabled, the solver records every
+// learnt clause and deletion so the derivation can be replayed and checked
+// by an independent RUP checker (drat_check.h) or any external DRAT tool
+// via the standard text format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace olsq2::sat {
+
+struct ProofStep {
+  bool deletion = false;
+  Clause clause;  // empty clause = the final UNSAT derivation
+};
+
+class Proof {
+ public:
+  void add(Clause clause) { steps_.push_back({false, std::move(clause)}); }
+  void remove(Clause clause) { steps_.push_back({true, std::move(clause)}); }
+
+  const std::vector<ProofStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+  std::size_t size() const { return steps_.size(); }
+
+  /// True if some addition step derives the empty clause.
+  bool derives_empty() const {
+    for (const ProofStep& s : steps_) {
+      if (!s.deletion && s.clause.empty()) return true;
+    }
+    return false;
+  }
+
+  /// Standard DRAT text: additions as literal lines, deletions prefixed 'd'.
+  std::string to_drat() const;
+
+ private:
+  std::vector<ProofStep> steps_;
+};
+
+}  // namespace olsq2::sat

@@ -1,0 +1,542 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sat/luby.h"
+
+namespace olsq2::sat {
+
+struct Solver::ClauseData {
+  std::vector<Lit> lits;
+  float activity = 0.0f;
+  unsigned lbd = 0;
+  bool learnt = false;
+
+  std::size_t size() const { return lits.size(); }
+  Lit& operator[](std::size_t i) { return lits[i]; }
+  Lit operator[](std::size_t i) const { return lits[i]; }
+};
+
+Solver::Solver() = default;
+Solver::~Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::kUndef);
+  levels_.push_back(0);
+  reasons_.push_back(nullptr);
+  activity_.push_back(0.0);
+  polarity_.push_back(false);
+  seen_.push_back(0);
+  model_.push_back(LBool::kUndef);
+  watches_.emplace_back();  // positive literal
+  watches_.emplace_back();  // negative literal
+  order_heap_.insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  if (clause_log_enabled_) clause_log_.push_back(lits);
+  cancel_until(0);
+
+  // Normalize: sort, strip duplicates, drop root-false literals, and detect
+  // tautologies / root-satisfied clauses.
+  const std::size_t original_size = lits.size();
+  std::sort(lits.begin(), lits.end());
+  std::size_t out = 0;
+  Lit prev = kUndefLit;
+  for (const Lit l : lits) {
+    assert(l.var() >= 0 && l.var() < num_vars());
+    if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied / taut
+    if (value(l) == LBool::kFalse || l == prev) continue;     // falsified / dup
+    lits[out++] = l;
+    prev = l;
+  }
+  const bool normalized_changed = out != original_size;
+  lits.resize(out);
+
+  if (proof_ != nullptr && normalized_changed) {
+    proof_->add(lits);  // the strengthened clause is RUP given root units
+  }
+  if (lits.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (lits.size() == 1) {
+    enqueue(lits[0], nullptr);
+    ok_ = (propagate() == nullptr);
+    if (!ok_ && proof_ != nullptr) proof_->add({});
+    return ok_;
+  }
+
+  auto clause = std::make_unique<ClauseData>();
+  clause->lits = std::move(lits);
+  attach(clause.get());
+  clauses_.push_back(std::move(clause));
+  num_original_clauses_++;
+  return true;
+}
+
+void Solver::attach(ClauseData* c) {
+  assert(c->size() >= 2);
+  watches_[(~(*c)[0]).code()].push_back({c, (*c)[1]});
+  watches_[(~(*c)[1]).code()].push_back({c, (*c)[0]});
+}
+
+void Solver::detach(ClauseData* c) {
+  for (const Lit w : {(*c)[0], (*c)[1]}) {
+    auto& list = watches_[(~w).code()];
+    auto it = std::find_if(list.begin(), list.end(),
+                           [c](const Watcher& x) { return x.clause == c; });
+    assert(it != list.end());
+    *it = list.back();
+    list.pop_back();
+  }
+}
+
+void Solver::enqueue(Lit l, ClauseData* reason) {
+  assert(value(l) == LBool::kUndef);
+  const Var v = l.var();
+  assigns_[v] = l.sign() ? LBool::kFalse : LBool::kTrue;
+  levels_[v] = decision_level();
+  reasons_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseData* Solver::propagate() {
+  ClauseData* conflict = nullptr;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p is now true
+    stats_.propagations++;
+    auto& list = watches_[p.code()];
+    std::size_t i = 0, j = 0;
+    const std::size_t n = list.size();
+    while (i < n) {
+      const Watcher w = list[i++];
+      if (value(w.blocker) == LBool::kTrue) {
+        list[j++] = w;
+        continue;
+      }
+      ClauseData& c = *w.clause;
+      // Ensure the false literal (~p) sits at position 1.
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      assert(c[1] == false_lit);
+
+      const Lit first = c[0];
+      if (first != w.blocker && value(first) == LBool::kTrue) {
+        list[j++] = {&c, first};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != LBool::kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).code()].push_back({&c, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+
+      // Clause is unit or conflicting.
+      list[j++] = {&c, first};
+      if (value(first) == LBool::kFalse) {
+        conflict = &c;
+        qhead_ = trail_.size();
+        // Copy the remaining watchers back before bailing out.
+        while (i < n) list[j++] = list[i++];
+        break;
+      }
+      enqueue(first, &c);
+    }
+    list.resize(j);
+    if (conflict != nullptr) break;
+  }
+  return conflict;
+}
+
+unsigned Solver::compute_lbd(std::span<const Lit> lits) {
+  // Number of distinct decision levels; small scratch set via sort-free scan.
+  thread_local std::vector<int> seen_levels;
+  seen_levels.clear();
+  for (const Lit l : lits) {
+    const int lv = level(l.var());
+    if (std::find(seen_levels.begin(), seen_levels.end(), lv) == seen_levels.end())
+      seen_levels.push_back(lv);
+  }
+  return static_cast<unsigned>(seen_levels.size());
+}
+
+void Solver::var_bump(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kRescaleLimit) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_heap_.update(v);
+}
+
+void Solver::clause_bump(ClauseData* c) {
+  c->activity += static_cast<float>(clause_inc_);
+  if (c->activity > 1e20f) {
+    for (auto& cl : learnts_) cl->activity *= 1e-20f;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+bool Solver::literal_redundant(Lit l) {
+  // Basic (non-recursive) minimization: l is redundant if its reason exists
+  // and every other reason literal is already marked seen or is root-level.
+  const ClauseData* reason = reasons_[l.var()];
+  if (reason == nullptr) return false;
+  for (std::size_t i = 0; i < reason->size(); ++i) {
+    const Lit q = (*reason)[i];
+    if (q.var() == l.var()) continue;
+    if (!seen_[q.var()] && level(q.var()) > 0) return false;
+  }
+  return true;
+}
+
+void Solver::analyze(ClauseData* conflict, std::vector<Lit>& out_learnt,
+                     int& out_btlevel, unsigned& out_lbd) {
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // placeholder for the asserting literal
+
+  int path_count = 0;
+  Lit p = kUndefLit;
+  std::size_t index = trail_.size();
+
+  ClauseData* reason = conflict;
+  do {
+    assert(reason != nullptr);
+    if (reason->learnt) {
+      clause_bump(reason);
+      // Dynamic LBD refresh: clauses that became glue are worth protecting.
+      const unsigned fresh = compute_lbd(reason->lits);
+      if (fresh < reason->lbd) reason->lbd = fresh;
+    }
+    for (std::size_t i = (p.is_undef() ? 0 : 1); i < reason->size(); ++i) {
+      const Lit q = (*reason)[i];
+      const Var v = q.var();
+      if (seen_[v] || level(v) == 0) continue;
+      seen_[v] = 1;
+      var_bump(v);
+      if (level(v) >= decision_level()) {
+        path_count++;
+      } else {
+        out_learnt.push_back(q);
+      }
+    }
+    // Walk back along the trail to the next marked literal.
+    while (!seen_[trail_[index - 1].var()]) index--;
+    p = trail_[--index];
+    reason = reasons_[p.var()];
+    seen_[p.var()] = 0;
+    path_count--;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Conflict-clause minimization. Keep a copy so every seen_ flag set above
+  // is cleared even for literals the minimization drops.
+  const std::vector<Lit> to_clear = out_learnt;
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    if (!literal_redundant(out_learnt[i])) {
+      out_learnt[kept++] = out_learnt[i];
+    } else {
+      stats_.minimized_literals++;
+    }
+  }
+  out_learnt.resize(kept);
+
+  // Find the backtrack level (second-highest level in the clause).
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level(out_learnt[i].var()) > level(out_learnt[max_i].var())) max_i = i;
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level(out_learnt[1].var());
+  }
+  out_lbd = compute_lbd(out_learnt);
+
+  for (const Lit l : to_clear) seen_[l.var()] = 0;
+}
+
+void Solver::cancel_until(int target_level) {
+  if (decision_level() <= target_level) return;
+  for (std::size_t i = trail_.size(); i > static_cast<std::size_t>(trail_lim_[target_level]);) {
+    const Var v = trail_[--i].var();
+    polarity_[v] = (assigns_[v] == LBool::kTrue);
+    assigns_[v] = LBool::kUndef;
+    reasons_[v] = nullptr;
+    order_heap_.insert(v);
+  }
+  trail_.resize(trail_lim_[target_level]);
+  trail_lim_.resize(target_level);
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!order_heap_.empty()) {
+    const Var v = order_heap_.pop();
+    if (assigns_[v] == LBool::kUndef) {
+      stats_.decisions++;
+      return Lit(v, !polarity_[v]);
+    }
+  }
+  return kUndefLit;
+}
+
+void Solver::set_polarity(Var v, bool value) { polarity_[v] = value; }
+
+void Solver::analyze_final(Lit failed_assumption) {
+  // The negation of `failed_assumption` holds in the current trail; walk
+  // its implication ancestry and collect every *decision* (= assumption)
+  // literal it rests on. Mirrors MiniSat's analyzeFinal.
+  conflict_core_.clear();
+  conflict_core_.push_back(failed_assumption);
+  if (decision_level() == 0) return;
+  seen_[failed_assumption.var()] = 1;
+  for (std::size_t i = trail_.size();
+       i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+    const Var v = trail_[i].var();
+    if (!seen_[v]) continue;
+    if (reasons_[v] == nullptr) {
+      assert(level(v) > 0);
+      conflict_core_.push_back(~trail_[i]);
+    } else {
+      const ClauseData& reason = *reasons_[v];
+      for (std::size_t k = 1; k < reason.size(); ++k) {
+        if (level(reason[k].var()) > 0) seen_[reason[k].var()] = 1;
+      }
+    }
+    seen_[v] = 0;
+  }
+  seen_[failed_assumption.var()] = 0;
+}
+
+bool Solver::budget_exhausted() const {
+  if (interrupted()) return true;
+  if (conflict_budget_ >= 0 &&
+      static_cast<std::int64_t>(stats_.conflicts) - conflicts_at_solve_start_ >=
+          conflict_budget_) {
+    return true;
+  }
+  if (time_budget_.has_value()) {
+    const auto elapsed = std::chrono::steady_clock::now() - solve_start_;
+    if (elapsed >= *time_budget_) return true;
+  }
+  return false;
+}
+
+void Solver::note_learnt_lbd(unsigned lbd) {
+  lifetime_lbd_sum_ += lbd;
+  if (recent_lbds_.size() < kLbdWindow) {
+    recent_lbds_.push_back(lbd);
+    recent_lbd_sum_ += lbd;
+    recent_lbd_full_ = recent_lbds_.size() == kLbdWindow;
+  } else {
+    recent_lbd_sum_ -= recent_lbds_[recent_lbd_pos_];
+    recent_lbds_[recent_lbd_pos_] = lbd;
+    recent_lbd_sum_ += lbd;
+    recent_lbd_pos_ = (recent_lbd_pos_ + 1) % kLbdWindow;
+    recent_lbd_full_ = true;
+  }
+}
+
+void Solver::reset_recent_lbds() {
+  recent_lbds_.clear();
+  recent_lbd_pos_ = 0;
+  recent_lbd_sum_ = 0;
+  recent_lbd_full_ = false;
+}
+
+bool Solver::glucose_restart_due() const {
+  if (!recent_lbd_full_ || stats_.conflicts == 0) return false;
+  const double recent_avg =
+      static_cast<double>(recent_lbd_sum_) / static_cast<double>(kLbdWindow);
+  const double lifetime_avg =
+      lifetime_lbd_sum_ / static_cast<double>(stats_.conflicts);
+  return recent_avg * kRestartK > lifetime_avg;
+}
+
+LBool Solver::search(std::int64_t conflicts_before_restart) {
+  std::int64_t conflict_count = 0;
+  std::vector<Lit> learnt;
+  while (true) {
+    ClauseData* conflict = propagate();
+    if (conflict != nullptr) {
+      stats_.conflicts++;
+      conflict_count++;
+      if (decision_level() == 0) {
+        ok_ = false;
+        if (proof_ != nullptr) proof_->add({});
+        return LBool::kFalse;
+      }
+      // Restart blocking (Glucose): an unusually deep trail suggests the
+      // search is closing in on a model - postpone the restart.
+      trail_size_sum_ += trail_.size();
+      trail_size_count_++;
+      if (effective_policy_ == RestartPolicy::kGlucose && recent_lbd_full_ &&
+          trail_size_count_ > kLbdWindow &&
+          static_cast<double>(trail_.size()) >
+              kBlockR * (static_cast<double>(trail_size_sum_) /
+                         static_cast<double>(trail_size_count_))) {
+        reset_recent_lbds();
+      }
+      int bt_level = 0;
+      unsigned lbd = 0;
+      analyze(conflict, learnt, bt_level, lbd);
+      cancel_until(bt_level);
+      note_learnt_lbd(lbd);
+      if (proof_ != nullptr) proof_->add(learnt);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], nullptr);
+      } else {
+        auto clause = std::make_unique<ClauseData>();
+        clause->lits = learnt;
+        clause->learnt = true;
+        clause->lbd = lbd;
+        clause->activity = 0.0f;
+        ClauseData* raw = clause.get();
+        attach(raw);
+        learnts_.push_back(std::move(clause));
+        clause_bump(raw);
+        enqueue(learnt[0], raw);
+        stats_.learnt_clauses++;
+        stats_.learnt_literals += learnt.size();
+      }
+      var_decay();
+      clause_decay();
+      if ((conflict_count & 0xFF) == 0 && budget_exhausted()) return LBool::kUndef;
+    } else {
+      const bool restart_due =
+          effective_policy_ == RestartPolicy::kGlucose
+              ? glucose_restart_due()
+              : conflict_count >= conflicts_before_restart;
+      if (restart_due) {
+        stats_.restarts++;
+        reset_recent_lbds();
+        cancel_until(0);
+        return LBool::kUndef;
+      }
+      // Clause DB reduction runs on the Glucose conflict schedule in all
+      // policies (it is independent of the restart strategy).
+      if (stats_.conflicts >= next_reduce_conflicts_) {
+        reduce_db();
+        reduce_rounds_++;
+        next_reduce_conflicts_ = stats_.conflicts + 2000 + 300 * reduce_rounds_;
+      }
+
+      // Establish assumptions, one decision level each.
+      Lit next = kUndefLit;
+      while (decision_level() < static_cast<int>(assumptions_.size())) {
+        const Lit a = assumptions_[decision_level()];
+        if (value(a) == LBool::kTrue) {
+          new_decision_level();  // dummy level keeps indices aligned
+        } else if (value(a) == LBool::kFalse) {
+          analyze_final(~a);     // collect the assumption core
+          return LBool::kFalse;  // UNSAT under assumptions
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next.is_undef()) {
+        if ((stats_.decisions & 0x3FF) == 0 && budget_exhausted()) {
+          return LBool::kUndef;
+        }
+        next = pick_branch_lit();
+        if (next.is_undef()) {
+          model_ = assigns_;  // full satisfying assignment found
+          return LBool::kTrue;
+        }
+      }
+      new_decision_level();
+      enqueue(next, nullptr);
+    }
+  }
+}
+
+void Solver::reduce_db() {
+  // Keep reasons, binaries, and glue clauses (LBD <= 2); of the rest, delete
+  // the less active half.
+  auto locked = [this](const ClauseData* c) {
+    return reasons_[(*c)[0].var()] == c && value((*c)[0]) == LBool::kTrue;
+  };
+  std::sort(learnts_.begin(), learnts_.end(), [](const auto& a, const auto& b) {
+    if (a->lbd != b->lbd) return a->lbd > b->lbd;  // worst glue first
+    return a->activity < b->activity;
+  });
+  const std::size_t target_removals = learnts_.size() / 2;
+  std::size_t removed = 0;
+  std::vector<std::unique_ptr<ClauseData>> kept;
+  kept.reserve(learnts_.size());
+  for (auto& c : learnts_) {
+    const bool protected_clause = c->size() == 2 || c->lbd <= 2 || locked(c.get());
+    if (removed < target_removals && !protected_clause) {
+      if (proof_ != nullptr) proof_->remove(c->lits);
+      detach(c.get());
+      removed++;
+    } else {
+      kept.push_back(std::move(c));
+    }
+  }
+  learnts_ = std::move(kept);
+  stats_.removed_clauses += removed;
+  max_learnts_ *= learnt_size_inc_;
+}
+
+std::int64_t Solver::num_learnts() const {
+  return static_cast<std::int64_t>(learnts_.size());
+}
+
+LBool Solver::solve(std::span<const Lit> assumptions) {
+  stats_.solve_calls++;
+  conflict_core_.clear();
+  if (!ok_) return LBool::kFalse;
+  cancel_until(0);
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+
+  conflicts_at_solve_start_ = static_cast<std::int64_t>(stats_.conflicts);
+  solve_start_ = std::chrono::steady_clock::now();
+  if (max_learnts_ < 1) {
+    max_learnts_ = std::max<double>(static_cast<double>(num_original_clauses_) *
+                                        max_learnts_factor_,
+                                    1000.0);
+  }
+
+  LBool status = LBool::kUndef;
+  std::uint64_t restart_round = 0;
+  while (status == LBool::kUndef) {
+    if (budget_exhausted()) break;
+    if (restart_policy_ == RestartPolicy::kAlternating) {
+      if (stats_.conflicts >= next_mode_switch_) {
+        effective_policy_ = effective_policy_ == RestartPolicy::kGlucose
+                                ? RestartPolicy::kLuby
+                                : RestartPolicy::kGlucose;
+        mode_interval_ *= 2;
+        next_mode_switch_ = stats_.conflicts + mode_interval_;
+        reset_recent_lbds();
+      }
+    } else {
+      effective_policy_ = restart_policy_;
+    }
+    const std::int64_t budget =
+        static_cast<std::int64_t>(luby(restart_round) * 100);
+    status = search(budget);
+    restart_round++;
+  }
+  cancel_until(0);
+  assumptions_.clear();
+  return status;
+}
+
+}  // namespace olsq2::sat

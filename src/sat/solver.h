@@ -1,0 +1,231 @@
+// A CDCL SAT solver in the MiniSat lineage.
+//
+// Features: two-watched-literal propagation with blockers, first-UIP conflict
+// analysis with basic clause minimization, VSIDS decision heuristic with
+// phase saving, Luby restarts, activity-driven learnt-clause deletion, and
+// incremental solving (clauses may be added between solve() calls; solve()
+// accepts assumption literals).
+//
+// This solver is the substrate replacing Z3's SAT core in the OLSQ2
+// reproduction: the paper's winning configuration bit-blasts everything into
+// propositional logic precisely so that the SAT engine does the work.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sat/heap.h"
+#include "sat/proof.h"
+#include "sat/stats.h"
+#include "sat/types.h"
+
+namespace olsq2::sat {
+
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Create a fresh variable and return it.
+  Var new_var();
+  std::int32_t num_vars() const { return static_cast<std::int32_t>(assigns_.size()); }
+
+  /// Add a clause. Returns false if the formula is now trivially UNSAT
+  /// (conflicting units at the root level). Tautologies and duplicate
+  /// literals are handled internally. May be called between solve() calls.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::vector<Lit>(lits));
+  }
+
+  /// Solve under the given assumptions.
+  /// kTrue = satisfiable, kFalse = unsatisfiable (under assumptions),
+  /// kUndef = a resource budget expired.
+  LBool solve(std::span<const Lit> assumptions = {});
+
+  /// Model access; valid only after solve() returned kTrue.
+  LBool model_value(Var v) const { return model_[v]; }
+  LBool model_value(Lit l) const { return lit_value(model_[l.var()], l.sign()); }
+  bool model_bool(Lit l) const { return model_value(l) == LBool::kTrue; }
+
+  /// False once the clause set is root-level unsatisfiable.
+  bool okay() const { return ok_; }
+
+  /// Asynchronous interruption: may be called from another thread; the
+  /// in-flight solve() returns kUndef at the next conflict boundary. The
+  /// flag stays set until clear_interrupt() - subsequent solves also bail.
+  void interrupt() { interrupted_.store(true, std::memory_order_relaxed); }
+  void clear_interrupt() { interrupted_.store(false, std::memory_order_relaxed); }
+  bool interrupted() const {
+    return interrupted_.load(std::memory_order_relaxed) ||
+           (external_interrupt_ != nullptr &&
+            external_interrupt_->load(std::memory_order_relaxed));
+  }
+
+  /// Share an externally-owned cancellation flag (portfolio solving): when
+  /// it becomes true, in-flight and future solves return kUndef. The flag
+  /// must outlive the solver or be detached with nullptr.
+  void set_external_interrupt(const std::atomic<bool>* flag) {
+    external_interrupt_ = flag;
+  }
+
+  /// Resource budgets; negative disables. Budgets apply per solve() call.
+  void set_conflict_budget(std::int64_t conflicts) { conflict_budget_ = conflicts; }
+  void set_time_budget(std::chrono::milliseconds ms) { time_budget_ = ms; }
+  void clear_budgets() {
+    conflict_budget_ = -1;
+    time_budget_ = std::nullopt;
+  }
+
+  /// Suggest an initial polarity for a variable (domain-guided search,
+  /// cf. the paper's future-work discussion on heuristic guidance).
+  void set_polarity(Var v, bool value);
+
+  /// Restart strategy. kGlucose restarts when the recent learnt-clause LBD
+  /// average degrades relative to the lifetime average, with trail-size
+  /// blocking; kLuby is the classical Luby sequence; kAlternating (default)
+  /// toggles between the two on a doubling conflict schedule - Glucose-style
+  /// phases attack UNSAT proofs, Luby "stable" phases dive for models.
+  enum class RestartPolicy { kLuby, kGlucose, kAlternating };
+  void set_restart_policy(RestartPolicy policy) { restart_policy_ = policy; }
+
+  const Stats& stats() const { return stats_; }
+  std::int64_t num_clauses() const { return num_original_clauses_; }
+  std::int64_t num_learnts() const;
+
+  /// Record every clause passed to add_clause (pre-normalization) for later
+  /// DIMACS export. Must be enabled before the clauses of interest arrive.
+  void set_clause_log(bool enabled) { clause_log_enabled_ = enabled; }
+  const std::vector<Clause>& clause_log() const { return clause_log_; }
+
+  /// After solve() returned kFalse under assumptions: a subset of those
+  /// assumptions sufficient for unsatisfiability (the assumption core).
+  /// Empty when the formula is UNSAT regardless of assumptions.
+  const std::vector<Lit>& conflict_core() const { return conflict_core_; }
+
+  /// Attach a DRAT proof log (learnt clauses, deletions, and the empty
+  /// clause on root UNSAT are recorded). Enable before adding clauses so
+  /// normalization steps are covered; pass nullptr to detach.
+  void set_proof(Proof* proof) { proof_ = proof; }
+
+ private:
+  struct ClauseData;
+  struct Watcher {
+    ClauseData* clause;
+    Lit blocker;
+  };
+
+  LBool value(Var v) const { return assigns_[v]; }
+  LBool value(Lit l) const { return lit_value(assigns_[l.var()], l.sign()); }
+  int level(Var v) const { return levels_[v]; }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  void attach(ClauseData* c);
+  void detach(ClauseData* c);
+  void remove_clause(ClauseData* c);
+  void enqueue(Lit l, ClauseData* reason);
+  ClauseData* propagate();
+  void analyze(ClauseData* conflict, std::vector<Lit>& out_learnt, int& out_btlevel,
+               unsigned& out_lbd);
+  bool literal_redundant(Lit l);
+  void cancel_until(int level);
+  Lit pick_branch_lit();
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  LBool search(std::int64_t conflicts_before_restart);
+  void reduce_db();
+  void var_bump(Var v);
+  void var_decay() { var_inc_ *= (1.0 / kVarDecay); }
+  void clause_bump(ClauseData* c);
+  void clause_decay() { clause_inc_ *= (1.0 / kClauseDecay); }
+  unsigned compute_lbd(std::span<const Lit> lits);
+  bool budget_exhausted() const;
+  void note_learnt_lbd(unsigned lbd);
+  void reset_recent_lbds();
+  bool glucose_restart_due() const;
+  void analyze_final(Lit failed_assumption);
+
+  static constexpr double kVarDecay = 0.95;
+  static constexpr double kClauseDecay = 0.999;
+  static constexpr double kRescaleLimit = 1e100;
+
+  bool ok_ = true;
+
+  // Per-variable state.
+  std::vector<LBool> assigns_;
+  std::vector<int> levels_;
+  std::vector<ClauseData*> reasons_;
+  std::vector<double> activity_;
+  std::vector<bool> polarity_;   // saved phase; next decision uses this sign
+  std::vector<std::uint8_t> seen_;
+
+  // Clause storage. Original and learnt clauses are owned here.
+  std::vector<std::unique_ptr<ClauseData>> clauses_;
+  std::vector<std::unique_ptr<ClauseData>> learnts_;
+  std::int64_t num_original_clauses_ = 0;
+
+  // Watch lists, indexed by literal code: clauses watching ~l.
+  std::vector<std::vector<Watcher>> watches_;
+
+  // Assignment trail.
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  // Heuristics.
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  ActivityHeap order_heap_{activity_};
+
+  // Learnt DB sizing.
+  double max_learnts_factor_ = 1.0 / 3.0;
+  double learnt_size_inc_ = 1.1;
+  double max_learnts_ = 0;
+
+  // Glucose-style restart state.
+  RestartPolicy restart_policy_ = RestartPolicy::kAlternating;
+  RestartPolicy effective_policy_ = RestartPolicy::kGlucose;  // current mode
+  std::uint64_t next_mode_switch_ = 4000;   // conflict count of next toggle
+  std::uint64_t mode_interval_ = 4000;
+  static constexpr std::size_t kLbdWindow = 50;
+  static constexpr std::size_t kTrailWindow = 5000;
+  static constexpr double kRestartK = 0.8;
+  static constexpr double kBlockR = 1.4;
+  std::vector<unsigned> recent_lbds_;     // ring buffer of last learnt LBDs
+  std::size_t recent_lbd_pos_ = 0;
+  std::uint64_t recent_lbd_sum_ = 0;
+  bool recent_lbd_full_ = false;
+  double lifetime_lbd_sum_ = 0;
+  std::uint64_t trail_size_sum_ = 0;      // running average of trail sizes
+  std::uint64_t trail_size_count_ = 0;
+  // Glucose-style clause DB reduction schedule.
+  std::uint64_t next_reduce_conflicts_ = 2000;
+  std::uint64_t reduce_rounds_ = 0;
+
+  // Budgets (per solve call).
+  std::int64_t conflict_budget_ = -1;
+  std::int64_t conflicts_at_solve_start_ = 0;
+  std::optional<std::chrono::milliseconds> time_budget_;
+  std::chrono::steady_clock::time_point solve_start_;
+
+  std::atomic<bool> interrupted_{false};
+  const std::atomic<bool>* external_interrupt_ = nullptr;
+
+  std::vector<Lit> assumptions_;
+  std::vector<LBool> model_;
+  std::vector<Lit> analyze_stack_;  // scratch for minimization
+  bool clause_log_enabled_ = false;
+  std::vector<Clause> clause_log_;
+  std::vector<Lit> conflict_core_;
+  Proof* proof_ = nullptr;
+
+  Stats stats_;
+};
+
+}  // namespace olsq2::sat

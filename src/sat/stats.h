@@ -1,0 +1,20 @@
+// Aggregate counters describing one solver's lifetime of work.
+#pragma once
+
+#include <cstdint>
+
+namespace olsq2::sat {
+
+struct Stats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_clauses = 0;
+  std::uint64_t learnt_literals = 0;
+  std::uint64_t removed_clauses = 0;   // deleted by DB reduction
+  std::uint64_t minimized_literals = 0;  // dropped by conflict-clause minimization
+  std::uint64_t solve_calls = 0;
+};
+
+}  // namespace olsq2::sat

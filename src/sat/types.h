@@ -1,0 +1,61 @@
+// Basic SAT solver value types: variables, literals, and three-valued logic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace olsq2::sat {
+
+/// A propositional variable, numbered from 0.
+using Var = std::int32_t;
+
+constexpr Var kUndefVar = -1;
+
+/// A literal: variable plus sign, packed as 2*var + (negated ? 1 : 0).
+///
+/// The packing gives every literal a dense non-negative index usable
+/// directly as an array subscript (watch lists, seen flags, ...).
+class Lit {
+ public:
+  constexpr Lit() : code_(-2) {}
+  constexpr Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+  /// Positive literal of variable v.
+  static constexpr Lit pos(Var v) { return Lit(v, false); }
+  /// Negative literal of variable v.
+  static constexpr Lit neg(Var v) { return Lit(v, true); }
+  /// Rebuild a literal from its packed index.
+  static constexpr Lit from_code(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  constexpr Var var() const { return code_ >> 1; }
+  constexpr bool sign() const { return (code_ & 1) != 0; }  // true = negated
+  constexpr std::int32_t code() const { return code_; }
+  constexpr bool is_undef() const { return code_ < 0; }
+
+  constexpr Lit operator~() const { return from_code(code_ ^ 1); }
+  constexpr bool operator==(const Lit&) const = default;
+  constexpr bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+ private:
+  std::int32_t code_;
+};
+
+constexpr Lit kUndefLit{};
+
+/// Three-valued logic for partial assignments.
+enum class LBool : std::uint8_t { kTrue = 0, kFalse = 1, kUndef = 2 };
+
+/// Value of a literal given the value of its variable.
+constexpr LBool lit_value(LBool var_value, bool negated) {
+  if (var_value == LBool::kUndef) return LBool::kUndef;
+  const bool v = (var_value == LBool::kTrue) != negated;
+  return v ? LBool::kTrue : LBool::kFalse;
+}
+
+using Clause = std::vector<Lit>;
+
+}  // namespace olsq2::sat

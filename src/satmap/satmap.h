@@ -1,0 +1,40 @@
+// SATMap-style layer-sliced mapper (stand-in for Molavi et al.,
+// MICRO'22), the second baseline of Table IV.
+//
+// SATMap slices the circuit into layers and solves each slice with a
+// (Max)SAT oracle, threading the mapping from one slice into the next. That
+// slicing is precisely the "unnecessary constraint" the OLSQ line of work
+// identifies: per-slice optimal SWAP choices are not globally optimal, so
+// its SWAP counts upper-bound TB-OLSQ2's. Our reimplementation keeps that
+// architecture on top of our CDCL solver: per slice it finds a mapping
+// satisfying all two-qubit gates in the slice, reachable from the previous
+// mapping through <= R disjoint SWAP layers (R grows on UNSAT), minimizing
+// the SWAPs used via totalizer descent.
+#pragma once
+
+#include "layout/types.h"
+
+namespace olsq2::satmap {
+
+struct SatmapOptions {
+  /// Number of dependency layers grouped into one slice.
+  int layers_per_slice = 1;
+  /// Wall-clock budget; <=0 unlimited. On expiry `solved` is false.
+  double time_budget_ms = 0.0;
+  /// Hard cap on SWAP layers between consecutive slices.
+  int max_transition_layers = 8;
+};
+
+struct SatmapResult {
+  bool solved = false;
+  int swap_count = 0;
+  int slice_count = 0;
+  double wall_ms = 0.0;
+  bool hit_budget = false;
+  std::vector<std::vector<int>> slice_mappings;  // mapping entering each slice
+};
+
+SatmapResult route(const layout::Problem& problem,
+                   const SatmapOptions& options = {});
+
+}  // namespace olsq2::satmap

@@ -1,0 +1,279 @@
+#include "sim/statevector.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "bengen/rng.h"
+
+namespace olsq2::sim {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+}  // namespace
+
+double parse_angle(const std::string& text) {
+  if (text.empty()) throw std::runtime_error("sim: empty angle");
+  std::string s = text;
+  double sign = 1.0;
+  if (s[0] == '-') {
+    sign = -1.0;
+    s = s.substr(1);
+  }
+  if (s == "pi") return sign * kPi;
+  const auto slash = s.find('/');
+  if (slash != std::string::npos && s.substr(0, slash) == "pi") {
+    const double denom = std::stod(s.substr(slash + 1));
+    return sign * kPi / denom;
+  }
+  const auto star = s.find("*pi");
+  if (star != std::string::npos && star + 3 == s.size()) {
+    return sign * std::stod(s.substr(0, star)) * kPi;
+  }
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::runtime_error("");
+    return sign * v;
+  } catch (...) {
+    throw std::runtime_error("sim: unsupported angle expression '" + text + "'");
+  }
+}
+
+StateVector::StateVector(int num_qubits)
+    : num_qubits_(num_qubits),
+      amps_(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0}) {
+  assert(num_qubits >= 1 && num_qubits <= 28);
+  amps_[0] = 1.0;
+}
+
+void StateVector::set_state(std::vector<Amplitude> amps) {
+  assert(amps.size() == amps_.size());
+  amps_ = std::move(amps);
+}
+
+void StateVector::apply_1q(int q, const Amplitude m[2][2]) {
+  const std::size_t stride = std::size_t{1} << q;
+  for (std::size_t base = 0; base < amps_.size(); base += 2 * stride) {
+    for (std::size_t off = 0; off < stride; ++off) {
+      const std::size_t i0 = base + off;
+      const std::size_t i1 = i0 + stride;
+      const Amplitude a = amps_[i0];
+      const Amplitude b = amps_[i1];
+      amps_[i0] = m[0][0] * a + m[0][1] * b;
+      amps_[i1] = m[1][0] * a + m[1][1] * b;
+    }
+  }
+}
+
+void StateVector::apply_cx(int control, int target) {
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if ((i & cbit) != 0 && (i & tbit) == 0) {
+      std::swap(amps_[i], amps_[i | tbit]);
+    }
+  }
+}
+
+void StateVector::apply_cz(int q0, int q1) {
+  const std::size_t b0 = std::size_t{1} << q0;
+  const std::size_t b1 = std::size_t{1} << q1;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if ((i & b0) != 0 && (i & b1) != 0) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVector::apply_swap(int q0, int q1) {
+  const std::size_t b0 = std::size_t{1} << q0;
+  const std::size_t b1 = std::size_t{1} << q1;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const bool has0 = (i & b0) != 0;
+    const bool has1 = (i & b1) != 0;
+    if (has0 && !has1) {
+      std::swap(amps_[i], amps_[(i & ~b0) | b1]);
+    }
+  }
+}
+
+void StateVector::apply_zz(int q0, int q1, double theta) {
+  // exp(-i theta/2 Z x Z): phase by parity of the two bits.
+  const std::size_t b0 = std::size_t{1} << q0;
+  const std::size_t b1 = std::size_t{1} << q1;
+  const Amplitude minus = std::polar(1.0, -theta / 2);
+  const Amplitude plus = std::polar(1.0, theta / 2);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const bool parity = ((i & b0) != 0) != ((i & b1) != 0);
+    amps_[i] *= parity ? plus : minus;
+  }
+}
+
+void StateVector::apply(const circuit::Gate& gate) {
+  const std::string& n = gate.name;
+  const int q = gate.q0;
+  using namespace std::complex_literals;
+  if (!gate.is_two_qubit()) {
+    if (n == "x") {
+      const Amplitude m[2][2] = {{0, 1}, {1, 0}};
+      apply_1q(q, m);
+    } else if (n == "y") {
+      const Amplitude m[2][2] = {{0, -1i}, {1i, 0}};
+      apply_1q(q, m);
+    } else if (n == "z") {
+      const Amplitude m[2][2] = {{1, 0}, {0, -1}};
+      apply_1q(q, m);
+    } else if (n == "h") {
+      const double r = 1.0 / std::sqrt(2.0);
+      const Amplitude m[2][2] = {{r, r}, {r, -r}};
+      apply_1q(q, m);
+    } else if (n == "s") {
+      const Amplitude m[2][2] = {{1, 0}, {0, 1i}};
+      apply_1q(q, m);
+    } else if (n == "sdg") {
+      const Amplitude m[2][2] = {{1, 0}, {0, -1i}};
+      apply_1q(q, m);
+    } else if (n == "t") {
+      const Amplitude m[2][2] = {{1, 0}, {0, std::polar(1.0, kPi / 4)}};
+      apply_1q(q, m);
+    } else if (n == "tdg") {
+      const Amplitude m[2][2] = {{1, 0}, {0, std::polar(1.0, -kPi / 4)}};
+      apply_1q(q, m);
+    } else if (n == "p" || n == "rz" || n == "u1") {
+      // rz differs from p only by a global phase - irrelevant for overlap
+      // checks up to phase; use the phase-gate convention for both.
+      const double theta = parse_angle(gate.params);
+      const Amplitude m[2][2] = {{1, 0}, {0, std::polar(1.0, theta)}};
+      apply_1q(q, m);
+    } else if (n == "rx") {
+      const double theta = parse_angle(gate.params) / 2;
+      const Amplitude m[2][2] = {{std::cos(theta), -1i * std::sin(theta)},
+                                 {-1i * std::sin(theta), std::cos(theta)}};
+      apply_1q(q, m);
+    } else if (n == "ry") {
+      const double theta = parse_angle(gate.params) / 2;
+      const Amplitude m[2][2] = {{std::cos(theta), -std::sin(theta)},
+                                 {std::sin(theta), std::cos(theta)}};
+      apply_1q(q, m);
+    } else {
+      throw std::runtime_error("sim: unsupported gate '" + n + "'");
+    }
+    return;
+  }
+  if (n == "cx" || n == "CX") {
+    apply_cx(gate.q0, gate.q1);
+  } else if (n == "cz") {
+    apply_cz(gate.q0, gate.q1);
+  } else if (n == "swap") {
+    apply_swap(gate.q0, gate.q1);
+  } else if (n == "zz" || n == "rzz") {
+    const double theta = gate.params.empty() ? 0.7 : parse_angle(gate.params);
+    apply_zz(gate.q0, gate.q1, theta);
+  } else {
+    throw std::runtime_error("sim: unsupported gate '" + n + "'");
+  }
+}
+
+void StateVector::apply_circuit(const circuit::Circuit& c) {
+  for (const circuit::Gate& g : c.gates()) apply(g);
+}
+
+double StateVector::overlap(const StateVector& other) const {
+  assert(num_qubits_ == other.num_qubits_);
+  Amplitude dot{0.0, 0.0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    dot += std::conj(other.amps_[i]) * amps_[i];
+  }
+  return std::abs(dot);
+}
+
+EquivalenceReport check_routed_equivalence(
+    const circuit::Circuit& program, const circuit::Circuit& routed,
+    const std::vector<int>& initial_mapping,
+    const std::vector<int>& final_mapping, const EquivalenceOptions& options) {
+  EquivalenceReport report;
+  const int n = program.num_qubits();
+  const int p = routed.num_qubits();
+  if (p > options.max_device_qubits) {
+    report.error = "device too large to simulate";
+    return report;
+  }
+  if (static_cast<int>(initial_mapping.size()) != n ||
+      static_cast<int>(final_mapping.size()) != n) {
+    report.error = "mapping size mismatch";
+    return report;
+  }
+
+  bengen::Rng rng(options.seed);
+  report.worst_overlap = 1.0;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    // Random product state on the program qubits.
+    std::vector<std::pair<Amplitude, Amplitude>> locals(n);
+    for (auto& [alpha, beta] : locals) {
+      const double theta = rng.unit() * kPi;
+      const double phi = rng.unit() * 2 * kPi;
+      alpha = std::cos(theta / 2);
+      beta = std::polar(std::sin(theta / 2), phi);
+    }
+
+    // Expected: simulate the program directly.
+    StateVector expected(n);
+    {
+      std::vector<Amplitude> amps(std::size_t{1} << n);
+      for (std::size_t idx = 0; idx < amps.size(); ++idx) {
+        Amplitude a{1.0, 0.0};
+        for (int q = 0; q < n; ++q) {
+          a *= ((idx >> q) & 1) ? locals[q].second : locals[q].first;
+        }
+        amps[idx] = a;
+      }
+      expected.set_state(std::move(amps));
+      expected.apply_circuit(program);
+    }
+
+    // Actual: embed via the initial mapping, run the routed circuit.
+    StateVector actual(p);
+    {
+      std::vector<Amplitude> amps(std::size_t{1} << p, Amplitude{0.0, 0.0});
+      for (std::size_t idx = 0; idx < amps.size(); ++idx) {
+        Amplitude a{1.0, 0.0};
+        bool ancilla_excited = false;
+        std::size_t remaining = idx;
+        // Check ancillas are |0> and accumulate program-qubit factors.
+        for (int q = 0; q < n; ++q) {
+          const bool bit = (idx >> initial_mapping[q]) & 1;
+          a *= bit ? locals[q].second : locals[q].first;
+          remaining &= ~(std::size_t{1} << initial_mapping[q]);
+        }
+        if (remaining != 0) ancilla_excited = true;
+        amps[idx] = ancilla_excited ? Amplitude{0.0, 0.0} : a;
+      }
+      actual.set_state(std::move(amps));
+      actual.apply_circuit(routed);
+    }
+
+    // Extract: expected state embedded at the *final* mapping.
+    StateVector reference(p);
+    {
+      std::vector<Amplitude> amps(std::size_t{1} << p, Amplitude{0.0, 0.0});
+      const auto& exp_amps = expected.amplitudes();
+      for (std::size_t idx = 0; idx < exp_amps.size(); ++idx) {
+        std::size_t device_idx = 0;
+        for (int q = 0; q < n; ++q) {
+          if ((idx >> q) & 1) device_idx |= (std::size_t{1} << final_mapping[q]);
+        }
+        amps[device_idx] = exp_amps[idx];
+      }
+      reference.set_state(std::move(amps));
+    }
+
+    const double overlap = actual.overlap(reference);
+    report.worst_overlap = std::min(report.worst_overlap, overlap);
+  }
+  report.equivalent = report.worst_overlap >= 1.0 - options.tolerance;
+  return report;
+}
+
+}  // namespace olsq2::sim

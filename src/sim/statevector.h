@@ -1,0 +1,87 @@
+// Dense state-vector simulator for small circuits.
+//
+// Closes the semantic loop on layout synthesis: the verifier checks the
+// paper's scheduling constraints, and this simulator checks that the routed
+// physical circuit actually *computes the same unitary* as the input
+// program under the reported initial/final mappings. Practical up to ~16
+// qubits; the equivalence tests run on 5-9 qubit devices.
+//
+// Supported gates: x, y, z, h, s, sdg, t, tdg, p/rz/u1(theta), rx(theta),
+// ry(theta), cx, cz, swap, zz/rzz(theta). Parameter expressions support
+// decimals and the forms pi, -pi, pi/k, -pi/k, k*pi (enough for every
+// generator and corpus file in this repository).
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace olsq2::sim {
+
+using Amplitude = std::complex<double>;
+
+/// Parse a gate-parameter expression (e.g. "pi/4", "-pi/2", "0.7", "2*pi").
+/// Throws std::runtime_error on unsupported syntax.
+double parse_angle(const std::string& text);
+
+class StateVector {
+ public:
+  /// |0...0> over `num_qubits` qubits (qubit 0 is the least-significant bit
+  /// of the basis index).
+  explicit StateVector(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<Amplitude>& amplitudes() const { return amps_; }
+
+  /// Set an arbitrary normalized state (size must be 2^num_qubits).
+  void set_state(std::vector<Amplitude> amps);
+
+  /// Apply a named gate (see the header comment for the supported set).
+  void apply(const circuit::Gate& gate);
+  void apply_circuit(const circuit::Circuit& c);
+
+  /// |<other|this>| - 1.0 means equal up to global phase.
+  double overlap(const StateVector& other) const;
+
+ private:
+  void apply_1q(int q, const Amplitude m[2][2]);
+  void apply_cx(int control, int target);
+  void apply_cz(int q0, int q1);
+  void apply_swap(int q0, int q1);
+  void apply_zz(int q0, int q1, double theta);
+
+  int num_qubits_;
+  std::vector<Amplitude> amps_;
+};
+
+/// Functional-equivalence check for a synthesis result: simulate the input
+/// program and the routed physical circuit from `trials` random product
+/// states and compare (program qubits embedded via the initial mapping,
+/// extracted via the final mapping; ancilla physical qubits must return to
+/// |0>). Device sizes above `max_device_qubits` are rejected (memory).
+struct EquivalenceOptions {
+  int trials = 3;
+  std::uint64_t seed = 1;
+  int max_device_qubits = 16;
+  double tolerance = 1e-9;
+};
+
+struct EquivalenceReport {
+  bool equivalent = false;
+  double worst_overlap = 0.0;  // min over trials of |<expected|actual>|
+  std::string error;           // non-empty when a check could not run
+};
+
+/// `routed` must be a physical-qubit circuit (e.g. from
+/// layout::to_physical_circuit or a heuristic router), with "swap" gates
+/// explicit. `initial_mapping[q]` / `final_mapping[q]` give the physical
+/// position of program qubit q before/after execution.
+EquivalenceReport check_routed_equivalence(
+    const circuit::Circuit& program, const circuit::Circuit& routed,
+    const std::vector<int>& initial_mapping,
+    const std::vector<int>& final_mapping,
+    const EquivalenceOptions& options = {});
+
+}  // namespace olsq2::sim

@@ -1,0 +1,117 @@
+// Tests for the A*-based layer router.
+#include <gtest/gtest.h>
+
+#include "bengen/workloads.h"
+#include "device/presets.h"
+#include "astar/astar.h"
+#include "layout/tb.h"
+
+namespace olsq2::astar {
+namespace {
+
+// Replay validity: mapping tracks swaps; all two-qubit gates adjacent.
+void check_routed(const layout::Problem& problem, const AstarResult& result) {
+  const circuit::Circuit& in = *problem.circuit;
+  const device::Device& dev = *problem.device;
+  std::vector<int> phys = result.initial_mapping;
+  std::vector<int> prog(dev.num_qubits(), -1);
+  for (int q = 0; q < in.num_qubits(); ++q) {
+    ASSERT_EQ(prog[phys[q]], -1);
+    prog[phys[q]] = q;
+  }
+  int swaps = 0;
+  int gates = 0;
+  for (const auto& g : result.routed.gates()) {
+    if (g.name == "swap") {
+      ASSERT_TRUE(dev.adjacent(g.q0, g.q1));
+      std::swap(prog[g.q0], prog[g.q1]);
+      if (prog[g.q0] >= 0) phys[prog[g.q0]] = g.q0;
+      if (prog[g.q1] >= 0) phys[prog[g.q1]] = g.q1;
+      swaps++;
+      continue;
+    }
+    if (g.is_two_qubit()) {
+      ASSERT_TRUE(dev.adjacent(g.q0, g.q1));
+    }
+    gates++;
+  }
+  EXPECT_EQ(gates, in.num_gates());
+  EXPECT_EQ(swaps, result.swap_count);
+  EXPECT_EQ(result.final_mapping, phys);
+}
+
+TEST(Astar, QaoaOnGridIsValid) {
+  const auto c = bengen::qaoa_3regular(8, 1);
+  const auto dev = device::grid(3, 3);
+  const layout::Problem problem{&c, &dev, 1};
+  const AstarResult r = route(problem);
+  check_routed(problem, r);
+}
+
+TEST(Astar, AdjacentChainNeedsFewSwaps) {
+  circuit::Circuit c(4, "nn");
+  c.add_gate("cx", 0, 1);
+  c.add_gate("cx", 1, 2);
+  c.add_gate("cx", 2, 3);
+  const auto dev = device::grid(1, 4);
+  const layout::Problem problem{&c, &dev, 3};
+  const AstarResult r = route(problem);
+  check_routed(problem, r);
+  EXPECT_LE(r.swap_count, 3);
+}
+
+TEST(Astar, QuekoOnAspenIsValid) {
+  const auto dev = device::rigetti_aspen4();
+  bengen::QuekoSpec spec;
+  spec.depth = 5;
+  spec.gate_count = 37;
+  const auto c = bengen::queko(dev, spec);
+  const layout::Problem problem{&c, &dev, 3};
+  const AstarResult r = route(problem);
+  check_routed(problem, r);
+}
+
+TEST(Astar, NeverBeatsTbOlsq2) {
+  // Per-layer optimal SWAP insertion is the greedy-partition weakness the
+  // paper highlights: globally it cannot beat the exact relaxation.
+  for (const std::uint64_t seed : {1ULL, 3ULL, 5ULL}) {
+    const auto c = bengen::qaoa_3regular(6, seed);
+    const auto dev = device::grid(2, 3);
+    const layout::Problem problem{&c, &dev, 1};
+    const AstarResult heuristic = route(problem);
+    const layout::Result exact = layout::tb_synthesize_swap_optimal(problem);
+    ASSERT_TRUE(exact.solved);
+    EXPECT_GE(heuristic.swap_count, exact.swap_count) << "seed " << seed;
+  }
+}
+
+TEST(Astar, DeterministicForFixedSeed) {
+  const auto c = bengen::qaoa_3regular(10, 2);
+  const auto dev = device::grid(4, 4);
+  const layout::Problem problem{&c, &dev, 1};
+  const AstarResult a = route(problem);
+  const AstarResult b = route(problem);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+  EXPECT_EQ(a.initial_mapping, b.initial_mapping);
+}
+
+TEST(Astar, TinyExpansionCapFallsBackGreedily) {
+  const auto c = bengen::qaoa_3regular(10, 4);
+  const auto dev = device::grid(4, 4);
+  const layout::Problem problem{&c, &dev, 1};
+  AstarOptions options;
+  options.max_expansions = 1;
+  const AstarResult r = route(problem, options);
+  check_routed(problem, r);
+  EXPECT_GT(r.greedy_fallbacks, 0);
+}
+
+TEST(Astar, RejectsOversizedCircuit) {
+  const auto c = bengen::qaoa_3regular(10, 1);
+  const auto dev = device::grid(2, 2);
+  const layout::Problem problem{&c, &dev, 1};
+  EXPECT_THROW(route(problem), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace olsq2::astar

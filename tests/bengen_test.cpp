@@ -1,0 +1,215 @@
+// Tests for the benchmark generators: RNG determinism, graph regularity,
+// and the structural guarantees each circuit family promises.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bengen/graphgen.h"
+#include "bengen/rng.h"
+#include "bengen/workloads.h"
+#include "circuit/dependency.h"
+#include "device/presets.h"
+
+namespace olsq2::bengen {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UnitIntervalAndBelow) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(5);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(GraphGen, ThreeRegularProperties) {
+  for (const int n : {4, 8, 16, 24}) {
+    Rng rng(n);
+    const auto edges = random_regular_graph(n, 3, rng);
+    EXPECT_EQ(edges.size(), static_cast<std::size_t>(3 * n / 2));
+    std::map<int, int> degree;
+    std::set<std::pair<int, int>> seen;
+    for (const auto& [u, v] : edges) {
+      EXPECT_NE(u, v);
+      EXPECT_TRUE(seen.insert({std::min(u, v), std::max(u, v)}).second);
+      degree[u]++;
+      degree[v]++;
+    }
+    for (int v = 0; v < n; ++v) EXPECT_EQ(degree[v], 3) << "vertex " << v;
+  }
+}
+
+TEST(Qaoa, GateCountIsThreeHalvesN) {
+  for (const int n : {8, 16, 20, 24}) {
+    const auto c = qaoa_3regular(n, 1);
+    EXPECT_EQ(c.num_qubits(), n);
+    EXPECT_EQ(c.num_gates(), 3 * n / 2);  // e.g. QAOA(16/24)
+    EXPECT_EQ(c.num_two_qubit_gates(), c.num_gates());
+  }
+}
+
+TEST(Qaoa, SeedReproducible) {
+  const auto a = qaoa_3regular(12, 7);
+  const auto b = qaoa_3regular(12, 7);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (int g = 0; g < a.num_gates(); ++g) {
+    EXPECT_EQ(a.gate(g).q0, b.gate(g).q0);
+    EXPECT_EQ(a.gate(g).q1, b.gate(g).q1);
+  }
+}
+
+TEST(Queko, KnownOptimalDepthAndGateCount) {
+  const auto dev = device::grid(3, 3);
+  QuekoSpec spec;
+  spec.depth = 6;
+  spec.gate_count = 24;
+  spec.seed = 2;
+  const auto c = queko(dev, spec);
+  EXPECT_EQ(c.num_gates(), 24);
+  EXPECT_EQ(c.num_qubits(), dev.num_qubits());
+  // The dependency chain equals the target depth - the heart of QUEKO's
+  // known-optimal-depth guarantee.
+  const circuit::DependencyGraph deps(c);
+  EXPECT_EQ(deps.longest_chain(), 6);
+}
+
+TEST(Queko, TwoQubitGatesRespectSomeMapping) {
+  // The generator promises a zero-SWAP mapping exists; sanity-check that
+  // gate counts and qubit usage stay in range.
+  const auto dev = device::rigetti_aspen4();
+  QuekoSpec spec;
+  spec.depth = 5;
+  spec.gate_count = 37;  // QUEKO(16/37) shape
+  spec.seed = 4;
+  const auto c = queko(dev, spec);
+  EXPECT_EQ(c.num_gates(), 37);
+  for (const auto& g : c.gates()) {
+    EXPECT_GE(g.q0, 0);
+    EXPECT_LT(g.q0, 16);
+  }
+}
+
+TEST(Queko, RejectsInfeasibleSpecs) {
+  const auto dev = device::grid(2, 2);
+  QuekoSpec spec;
+  spec.depth = 0;
+  EXPECT_THROW(queko(dev, spec), std::invalid_argument);
+  spec.depth = 5;
+  spec.gate_count = 3;  // below backbone length
+  EXPECT_THROW(queko(dev, spec), std::invalid_argument);
+  spec.gate_count = 1000;  // beyond 4 qubits x 5 layers capacity
+  EXPECT_THROW(queko(dev, spec), std::runtime_error);
+}
+
+TEST(Qft, StructureAndCounts) {
+  const auto c = qft(5);
+  EXPECT_EQ(c.num_qubits(), 5);
+  // n H gates + C(n,2) controlled-phases at 5 gates each.
+  EXPECT_EQ(c.num_gates(), 5 + 10 * 5);
+  EXPECT_EQ(c.num_two_qubit_gates(), 10 * 2);
+}
+
+TEST(Tof, LadderQubitAndToffoliCounts) {
+  for (const int n : {3, 4, 5}) {
+    const auto c = tof(n);
+    EXPECT_EQ(c.num_qubits(), 2 * n - 1);
+    const int toffolis = 2 * (n - 2) + 1;
+    EXPECT_EQ(c.num_gates(), 15 * toffolis);  // 15-gate network each
+  }
+}
+
+TEST(BarencoTof, DenserThanPlainTof) {
+  for (const int n : {4, 5}) {
+    const auto plain = tof(n);
+    const auto barenco = barenco_tof(n);
+    EXPECT_EQ(barenco.num_qubits(), plain.num_qubits());
+    EXPECT_GT(barenco.num_gates(), plain.num_gates());
+  }
+}
+
+TEST(Ising, RoundStructure) {
+  const auto c = ising(10, 13);
+  EXPECT_EQ(c.num_qubits(), 10);
+  // Per round: 10 rz + 9 * (cx, rz, cx).
+  EXPECT_EQ(c.num_gates(), 13 * (10 + 3 * 9));
+  EXPECT_EQ(c.num_two_qubit_gates(), 13 * 2 * 9);
+}
+
+TEST(Ghz, ChainStructure) {
+  const auto c = ghz(6);
+  EXPECT_EQ(c.num_qubits(), 6);
+  EXPECT_EQ(c.num_gates(), 6);  // 1 H + 5 CX
+  const circuit::DependencyGraph deps(c);
+  EXPECT_EQ(deps.longest_chain(), 6);  // fully sequential
+}
+
+TEST(BernsteinVazirani, SecretControlsCnotCount) {
+  const auto all_ones = bernstein_vazirani(5, 0b11111);
+  const auto sparse = bernstein_vazirani(5, 0b00101);
+  EXPECT_EQ(all_ones.num_qubits(), 6);
+  EXPECT_EQ(all_ones.num_two_qubit_gates(), 5);
+  EXPECT_EQ(sparse.num_two_qubit_gates(), 2);
+  // Star interaction: every CNOT targets the ancilla.
+  for (const auto& g : all_ones.gates()) {
+    if (g.is_two_qubit()) {
+      EXPECT_EQ(g.q1, 5);
+    }
+  }
+}
+
+TEST(CuccaroAdder, LadderShape) {
+  for (const int n : {1, 2, 4}) {
+    const auto c = cuccaro_adder(n);
+    EXPECT_EQ(c.num_qubits(), 2 * n + 2);
+    // 2n MAJ/UMA pairs, each 2 CX + a 15-gate Toffoli, plus the carry CX.
+    EXPECT_EQ(c.num_gates(), 2 * n * (2 + 15) + 1);
+  }
+}
+
+TEST(AllGenerators, GateIndicesInRange) {
+  const auto dev = device::grid(3, 3);
+  QuekoSpec spec;
+  spec.depth = 4;
+  spec.gate_count = 20;
+  const std::vector<circuit::Circuit> all = {
+      qaoa_3regular(8, 3), queko(dev, spec), qft(6), tof(4), barenco_tof(4),
+      ising(6, 3)};
+  for (const auto& c : all) {
+    for (const auto& g : c.gates()) {
+      EXPECT_GE(g.q0, 0);
+      EXPECT_LT(g.q0, c.num_qubits());
+      if (g.is_two_qubit()) {
+        EXPECT_GE(g.q1, 0);
+        EXPECT_LT(g.q1, c.num_qubits());
+        EXPECT_NE(g.q0, g.q1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olsq2::bengen

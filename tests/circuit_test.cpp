@@ -1,0 +1,103 @@
+// Tests for the circuit IR and dependency analysis.
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "circuit/dependency.h"
+
+namespace olsq2::circuit {
+namespace {
+
+TEST(Circuit, GateBookkeeping) {
+  Circuit c(3, "demo");
+  c.add_gate("h", 0);
+  c.add_gate("cx", 0, 1);
+  c.add_gate("t", 2);
+  c.add_gate("cx", 1, 2);
+  EXPECT_EQ(c.num_gates(), 4);
+  EXPECT_EQ(c.num_two_qubit_gates(), 2);
+  EXPECT_EQ(c.num_single_qubit_gates(), 2);
+  EXPECT_EQ(c.label(), "demo(3/4)");
+  EXPECT_TRUE(c.gate(1).is_two_qubit());
+  EXPECT_FALSE(c.gate(0).is_two_qubit());
+  EXPECT_TRUE(c.gate(3).acts_on(1));
+  EXPECT_TRUE(c.gate(3).acts_on(2));
+  EXPECT_FALSE(c.gate(3).acts_on(0));
+}
+
+TEST(Dependency, EmptyCircuit) {
+  Circuit c(2, "empty");
+  DependencyGraph deps(c);
+  EXPECT_EQ(deps.longest_chain(), 0);
+  EXPECT_TRUE(deps.pairs().empty());
+}
+
+TEST(Dependency, SingleGate) {
+  Circuit c(2, "one");
+  c.add_gate("cx", 0, 1);
+  DependencyGraph deps(c);
+  EXPECT_EQ(deps.longest_chain(), 1);
+  EXPECT_EQ(deps.default_upper_bound(), 2);  // floored at T_LB + 1
+}
+
+TEST(Dependency, ChainOnOneQubit) {
+  Circuit c(1, "chain");
+  for (int i = 0; i < 7; ++i) c.add_gate("t", 0);
+  DependencyGraph deps(c);
+  EXPECT_EQ(deps.longest_chain(), 7);
+  EXPECT_EQ(deps.pairs().size(), 6u);
+}
+
+TEST(Dependency, ParallelGatesShareNoDependency) {
+  Circuit c(4, "par");
+  c.add_gate("cx", 0, 1);
+  c.add_gate("cx", 2, 3);
+  DependencyGraph deps(c);
+  EXPECT_EQ(deps.longest_chain(), 1);
+  EXPECT_TRUE(deps.pairs().empty());
+}
+
+TEST(Dependency, TwoQubitGatesLinkBothOperands) {
+  Circuit c(3, "link");
+  c.add_gate("cx", 0, 1);  // g0
+  c.add_gate("cx", 1, 2);  // g1 depends on g0 via q1
+  c.add_gate("h", 0);      // g2 depends on g0 via q0
+  DependencyGraph deps(c);
+  EXPECT_EQ(deps.longest_chain(), 2);
+  ASSERT_EQ(deps.pairs().size(), 2u);
+  EXPECT_EQ(deps.pairs()[0], std::make_pair(0, 1));
+  EXPECT_EQ(deps.pairs()[1], std::make_pair(0, 2));
+  EXPECT_EQ(deps.chain_depth(0), 1);
+  EXPECT_EQ(deps.chain_depth(1), 2);
+  EXPECT_EQ(deps.chain_depth(2), 2);
+}
+
+TEST(Dependency, AsapLayersPartitionAllGates) {
+  Circuit c(3, "layers");
+  c.add_gate("cx", 0, 1);
+  c.add_gate("cx", 1, 2);
+  c.add_gate("h", 0);
+  c.add_gate("cx", 0, 2);
+  DependencyGraph deps(c);
+  const auto layers = deps.asap_layers();
+  std::size_t total = 0;
+  for (const auto& layer : layers) total += layer.size();
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(layers.size(), static_cast<std::size_t>(deps.longest_chain()));
+  // Layer membership respects chain depth.
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    for (const int g : layers[l]) {
+      EXPECT_EQ(deps.chain_depth(g), static_cast<int>(l) + 1);
+    }
+  }
+}
+
+TEST(Dependency, UpperBoundScalesByOnePointFive) {
+  Circuit c(1, "ub");
+  for (int i = 0; i < 10; ++i) c.add_gate("t", 0);
+  DependencyGraph deps(c);
+  EXPECT_EQ(deps.longest_chain(), 10);
+  EXPECT_EQ(deps.default_upper_bound(), 15);
+}
+
+}  // namespace
+}  // namespace olsq2::circuit

@@ -1,0 +1,80 @@
+// End-to-end tests over the shipped QASM corpus: parse from disk, run the
+// full synthesis pipeline, verify, and round-trip the routed output.
+#include <gtest/gtest.h>
+
+#include "circuit/dependency.h"
+#include "device/presets.h"
+#include "layout/export.h"
+#include "layout/olsq2.h"
+#include "layout/verifier.h"
+#include "qasm/parser.h"
+#include "qasm/writer.h"
+
+namespace olsq2 {
+namespace {
+
+#ifndef OLSQ2_BENCHMARK_DIR
+#error "OLSQ2_BENCHMARK_DIR must be defined by the build"
+#endif
+
+std::string corpus(const std::string& name) {
+  return std::string(OLSQ2_BENCHMARK_DIR) + "/" + name;
+}
+
+TEST(Corpus, ToffoliQx2EndToEnd) {
+  const auto c = qasm::parse_file(corpus("toffoli_qx2.qasm"));
+  EXPECT_EQ(c.num_qubits(), 3);
+  EXPECT_EQ(c.num_gates(), 15);  // measures and creg are dropped
+  const auto dev = device::ibm_qx2();
+  const layout::Problem problem{&c, &dev, 3};
+  const layout::Result r = layout::synthesize_depth_optimal(problem);
+  ASSERT_TRUE(r.solved);
+  EXPECT_EQ(r.depth, 11);  // matches the programmatic circuit's optimum
+  EXPECT_TRUE(layout::verify(problem, r).ok);
+}
+
+TEST(Corpus, Ghz5NeedsNoSwapsOnALine) {
+  const auto c = qasm::parse_file(corpus("ghz5.qasm"));
+  EXPECT_EQ(c.num_qubits(), 5);
+  const auto dev = device::grid(1, 5);
+  const layout::Problem problem{&c, &dev, 3};
+  const layout::Result r = layout::synthesize_swap_optimal(problem);
+  ASSERT_TRUE(r.solved);
+  EXPECT_EQ(r.swap_count, 0);
+  const circuit::DependencyGraph deps(c);
+  EXPECT_EQ(r.depth, deps.longest_chain());
+}
+
+TEST(Corpus, Bv5StarShape) {
+  const auto c = qasm::parse_file(corpus("bv5.qasm"));
+  EXPECT_EQ(c.num_qubits(), 6);
+  EXPECT_EQ(c.num_two_qubit_gates(), 3);  // secret 10110
+  const auto dev = device::ibm_qx2();
+  // QX2 has only 5 qubits: must be rejected cleanly.
+  const layout::Problem bad{&c, &dev, 3};
+  EXPECT_THROW(layout::synthesize_depth_optimal(bad), std::invalid_argument);
+  const auto grid = device::grid(2, 3);
+  const layout::Problem problem{&c, &grid, 3};
+  const layout::Result r = layout::synthesize_depth_optimal(problem);
+  ASSERT_TRUE(r.solved);
+  EXPECT_TRUE(layout::verify(problem, r).ok);
+}
+
+TEST(Corpus, QaoaTriangleForcesSwapOnLine) {
+  const auto c = qasm::parse_file(corpus("qaoa_triangle.qasm"));
+  EXPECT_EQ(c.num_gates(), 3);
+  EXPECT_EQ(c.gate(0).name, "rzz");
+  EXPECT_EQ(c.gate(0).params, "0.7");
+  const auto line = device::grid(1, 3);
+  const layout::Problem problem{&c, &line, 1};
+  const layout::Result r = layout::synthesize_swap_optimal(problem);
+  ASSERT_TRUE(r.solved);
+  EXPECT_EQ(r.swap_count, 1);
+  // Routed output round-trips through the parser with the SWAP visible.
+  const auto routed = layout::to_physical_circuit(problem, r);
+  const auto reparsed = qasm::parse(qasm::write(routed));
+  EXPECT_EQ(reparsed.num_gates(), 4);
+}
+
+}  // namespace
+}  // namespace olsq2

@@ -1,0 +1,162 @@
+// Tests for coupling graphs: structural invariants of every preset device.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "device/presets.h"
+
+namespace olsq2::device {
+namespace {
+
+// Structural sanity shared by all devices.
+void check_device(const Device& dev) {
+  std::set<std::pair<int, int>> seen;
+  for (const Edge& e : dev.edges()) {
+    EXPECT_GE(e.p0, 0);
+    EXPECT_LT(e.p0, dev.num_qubits());
+    EXPECT_GE(e.p1, 0);
+    EXPECT_LT(e.p1, dev.num_qubits());
+    EXPECT_NE(e.p0, e.p1);
+    auto key = std::minmax(e.p0, e.p1);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << dev.name() << ": duplicate edge " << e.p0 << "-" << e.p1;
+  }
+  // Connectivity: every preset is one connected component.
+  for (int p = 0; p < dev.num_qubits(); ++p) {
+    EXPECT_LT(dev.distance(0, p), dev.num_qubits())
+        << dev.name() << ": qubit " << p << " unreachable";
+  }
+  // Distance symmetry and adjacency consistency.
+  for (int i = 0; i < dev.num_qubits(); ++i) {
+    for (int j = 0; j < dev.num_qubits(); ++j) {
+      EXPECT_EQ(dev.distance(i, j), dev.distance(j, i));
+      EXPECT_EQ(dev.distance(i, j) == 1, dev.adjacent(i, j));
+    }
+    EXPECT_EQ(dev.distance(i, i), 0);
+  }
+}
+
+TEST(Grid, TwoByThree) {
+  const Device dev = grid(2, 3);
+  EXPECT_EQ(dev.num_qubits(), 6);
+  EXPECT_EQ(dev.num_edges(), 7);  // 2*2 horizontal + 3 vertical
+  check_device(dev);
+  EXPECT_TRUE(dev.adjacent(0, 1));
+  EXPECT_TRUE(dev.adjacent(0, 3));
+  EXPECT_FALSE(dev.adjacent(0, 4));
+  EXPECT_EQ(dev.distance(0, 5), 3);
+  EXPECT_EQ(dev.diameter(), 3);
+}
+
+TEST(Grid, EdgeCountFormula) {
+  for (int r = 1; r <= 5; ++r) {
+    for (int c = 1; c <= 5; ++c) {
+      const Device dev = grid(r, c);
+      EXPECT_EQ(dev.num_edges(), r * (c - 1) + c * (r - 1));
+      check_device(dev);
+    }
+  }
+}
+
+TEST(Qx2, MatchesPaperFigure3) {
+  const Device dev = ibm_qx2();
+  EXPECT_EQ(dev.num_qubits(), 5);
+  EXPECT_EQ(dev.num_edges(), 6);
+  check_device(dev);
+  // The triangle p0-p1-p2 and the triangle p2-p3-p4.
+  EXPECT_TRUE(dev.adjacent(0, 1));
+  EXPECT_TRUE(dev.adjacent(1, 2));
+  EXPECT_TRUE(dev.adjacent(0, 2));
+  EXPECT_TRUE(dev.adjacent(2, 3));
+  EXPECT_TRUE(dev.adjacent(2, 4));
+  EXPECT_TRUE(dev.adjacent(3, 4));
+  EXPECT_FALSE(dev.adjacent(0, 3));
+}
+
+TEST(Aspen4, TwoOctagonsWithBridges) {
+  const Device dev = rigetti_aspen4();
+  EXPECT_EQ(dev.num_qubits(), 16);
+  EXPECT_EQ(dev.num_edges(), 18);  // 2 rings of 8 + 2 bridges
+  check_device(dev);
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_LE(dev.neighbors(p).size(), 3u);
+    EXPECT_GE(dev.neighbors(p).size(), 2u);
+  }
+}
+
+TEST(Sycamore54, DiagonalGridShape) {
+  const Device dev = google_sycamore54();
+  EXPECT_EQ(dev.num_qubits(), 54);
+  check_device(dev);
+  int max_degree = 0;
+  for (int p = 0; p < dev.num_qubits(); ++p) {
+    max_degree = std::max(max_degree, static_cast<int>(dev.neighbors(p).size()));
+  }
+  EXPECT_LE(max_degree, 4);  // Sycamore couples each qubit to at most 4
+}
+
+TEST(Eagle127, HeavyHexShape) {
+  const Device dev = ibm_eagle127();
+  EXPECT_EQ(dev.num_qubits(), 127);
+  check_device(dev);
+  // Heavy-hex: degree <= 3 everywhere; bridge qubits have degree exactly 2.
+  for (int p = 0; p < dev.num_qubits(); ++p) {
+    EXPECT_LE(dev.neighbors(p).size(), 3u) << "qubit " << p;
+    EXPECT_GE(dev.neighbors(p).size(), 1u) << "qubit " << p;
+  }
+  // 127-qubit heavy-hex has 144 couplers (ibm_washington).
+  EXPECT_EQ(dev.num_edges(), 144);
+}
+
+TEST(HeavyHex, GenericGeneratorShape) {
+  for (const auto& [rows, cols] : {std::pair{3, 5}, {4, 9}, {7, 15}}) {
+    const Device dev = heavy_hex(rows, cols);
+    check_device(dev);
+    for (int p = 0; p < dev.num_qubits(); ++p) {
+      EXPECT_LE(dev.neighbors(p).size(), 3u)
+          << dev.name() << " qubit " << p;
+    }
+  }
+}
+
+TEST(Guadalupe, PublishedShape) {
+  const Device dev = ibm_guadalupe16();
+  EXPECT_EQ(dev.num_qubits(), 16);
+  EXPECT_EQ(dev.num_edges(), 16);
+  check_device(dev);
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_LE(dev.neighbors(p).size(), 3u);
+  }
+}
+
+TEST(Tokyo, PublishedShape) {
+  const Device dev = ibm_tokyo20();
+  EXPECT_EQ(dev.num_qubits(), 20);
+  EXPECT_EQ(dev.num_edges(), 43);
+  check_device(dev);
+  // Denser than a plain 4x5 grid (31 edges).
+  EXPECT_GT(dev.num_edges(), 31);
+  EXPECT_LE(dev.diameter(), 5);
+}
+
+TEST(Device, EdgesAtIsConsistent) {
+  const Device dev = ibm_qx2();
+  for (int p = 0; p < dev.num_qubits(); ++p) {
+    for (const int e : dev.edges_at(p)) {
+      EXPECT_TRUE(dev.edge(e).touches(p));
+    }
+    EXPECT_EQ(dev.edges_at(p).size(), dev.neighbors(p).size());
+  }
+}
+
+TEST(Edge, OtherEndpoint) {
+  const Edge e{3, 7};
+  EXPECT_EQ(e.other(3), 7);
+  EXPECT_EQ(e.other(7), 3);
+  EXPECT_TRUE(e.touches(3));
+  EXPECT_FALSE(e.touches(5));
+}
+
+}  // namespace
+}  // namespace olsq2::device

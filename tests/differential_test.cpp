@@ -1,0 +1,145 @@
+// Differential tests across the encoding matrix: every configuration of
+// formulation x variable encoding x injectivity x cardinality must agree on
+// satisfiability verdicts and optimal objective values - they may only
+// differ in speed (the whole premise of the paper's §III-C study).
+#include <gtest/gtest.h>
+
+#include "bengen/workloads.h"
+#include "circuit/dependency.h"
+#include "device/presets.h"
+#include "layout/olsq2.h"
+#include "layout/tb.h"
+#include "layout/verifier.h"
+
+namespace olsq2::layout {
+namespace {
+
+std::vector<EncodingConfig> full_matrix() {
+  std::vector<EncodingConfig> configs;
+  for (const auto form : {Formulation::kOlsq2, Formulation::kOlsqBaseline}) {
+    for (const auto vars : {VarEncoding::kBinary, VarEncoding::kOneHot}) {
+      for (const auto inj :
+           {InjectivityEncoding::kPairwise, InjectivityEncoding::kChanneling,
+            InjectivityEncoding::kAmoPerQubit}) {
+        for (const auto card :
+             {CardEncoding::kSeqCounter, CardEncoding::kTotalizer,
+              CardEncoding::kAdder}) {
+          configs.push_back({form, vars, inj, card});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+TEST(Differential, FixedBoundVerdictsAgreeAcrossAllConfigs) {
+  const auto c = bengen::qaoa_3regular(4, 3);
+  const auto dev = device::grid(2, 2);
+  const Problem problem{&c, &dev, 1};
+  const circuit::DependencyGraph deps(c);
+  const int horizon = deps.default_upper_bound() + 2;
+
+  // Reference verdicts for a sweep of swap bounds.
+  std::vector<bool> reference;
+  for (int bound = 0; bound <= 4; ++bound) {
+    reference.push_back(solve_fixed(problem, horizon, bound).solved);
+  }
+  // Verdicts must be monotone in the bound.
+  for (std::size_t i = 1; i < reference.size(); ++i) {
+    if (reference[i - 1]) {
+      EXPECT_TRUE(reference[i]) << "monotonicity broken at bound " << i;
+    }
+  }
+
+  for (const EncodingConfig& config : full_matrix()) {
+    for (int bound = 0; bound <= 4; ++bound) {
+      const Result r = solve_fixed(problem, horizon, bound, config);
+      EXPECT_EQ(r.solved, reference[bound])
+          << config.label() << " card=" << static_cast<int>(config.cardinality)
+          << " bound=" << bound;
+      if (r.solved) {
+        EXPECT_TRUE(verify(problem, r).ok) << config.label();
+        EXPECT_LE(r.swap_count, bound);
+      }
+    }
+  }
+}
+
+TEST(Differential, TbBlockVerdictsAgree) {
+  const auto c = bengen::qaoa_3regular(6, 2);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  // Reference: minimal satisfiable block count with default config.
+  const Result reference = tb_synthesize_block_optimal(problem);
+  ASSERT_TRUE(reference.solved);
+  for (const auto vars : {VarEncoding::kBinary, VarEncoding::kOneHot}) {
+    for (const auto inj :
+         {InjectivityEncoding::kPairwise, InjectivityEncoding::kChanneling}) {
+      EncodingConfig config;
+      config.vars = vars;
+      config.injectivity = inj;
+      const Result r = tb_synthesize_block_optimal(problem, config);
+      ASSERT_TRUE(r.solved) << config.label();
+      EXPECT_EQ(r.depth, reference.depth) << config.label();
+    }
+  }
+  // TB-OLSQ (space variables) agrees too.
+  EncodingConfig baseline;
+  baseline.formulation = Formulation::kOlsqBaseline;
+  const Result tb_olsq = tb_synthesize_block_optimal(problem, baseline);
+  ASSERT_TRUE(tb_olsq.solved);
+  EXPECT_EQ(tb_olsq.depth, reference.depth);
+}
+
+TEST(Differential, SwapOptimaAgreeAcrossCardinalityEncodings) {
+  const auto c = bengen::qaoa_3regular(6, 6);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  const Result reference = synthesize_swap_optimal(problem);
+  ASSERT_TRUE(reference.solved);
+  for (const auto card :
+       {CardEncoding::kSeqCounter, CardEncoding::kTotalizer,
+        CardEncoding::kAdder}) {
+    EncodingConfig config;
+    config.cardinality = card;
+    const Result r = synthesize_swap_optimal(problem, config);
+    ASSERT_TRUE(r.solved) << static_cast<int>(card);
+    EXPECT_EQ(r.swap_count, reference.swap_count)
+        << "cardinality " << static_cast<int>(card);
+  }
+}
+
+TEST(TbVerifier, DetectsCorruptedTransitionResults) {
+  const auto c = bengen::qaoa_3regular(6, 2);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  const Result good = tb_synthesize_swap_optimal(problem);
+  ASSERT_TRUE(good.solved);
+  ASSERT_TRUE(verify_transition_based(problem, good).ok);
+
+  {
+    Result bad = good;  // break per-block injectivity
+    bad.mapping[0][1] = bad.mapping[0][0];
+    EXPECT_FALSE(verify_transition_based(problem, bad).ok);
+  }
+  {
+    Result bad = good;  // dependency order violated (if any dependency)
+    const circuit::DependencyGraph deps(c);
+    if (!deps.pairs().empty() && bad.depth > 1) {
+      const auto [earlier, later] = deps.pairs().front();
+      bad.gate_time[earlier] = bad.depth - 1;
+      bad.gate_time[later] = 0;
+      EXPECT_FALSE(verify_transition_based(problem, bad).ok);
+    }
+  }
+  {
+    Result bad = good;  // type confusion must be rejected
+    bad.transition_based = false;
+    EXPECT_FALSE(verify_transition_based(problem, bad).ok);
+    Result wrong = good;
+    EXPECT_FALSE(verify(problem, wrong).ok);
+  }
+}
+
+}  // namespace
+}  // namespace olsq2::layout

@@ -1,0 +1,154 @@
+// Tests for DRAT proof logging and the independent RUP checker.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sat/drat_check.h"
+#include "sat/proof.h"
+#include "sat/solver.h"
+
+namespace olsq2::sat {
+namespace {
+
+void add_pigeonhole(Solver& s, int pigeons, int holes) {
+  std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+  for (auto& row : p) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < holes; ++j) clause.push_back(Lit::pos(p[i][j]));
+    s.add_clause(clause);
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i = 0; i < pigeons; ++i) {
+      for (int k = i + 1; k < pigeons; ++k) {
+        s.add_clause({Lit::neg(p[i][j]), Lit::neg(p[k][j])});
+      }
+    }
+  }
+}
+
+TEST(Drat, TrivialContradictionProvesUnsat) {
+  Solver s;
+  Proof proof;
+  s.set_proof(&proof);
+  s.set_clause_log(true);
+  const Var a = s.new_var();
+  s.add_clause({Lit::pos(a)});
+  s.add_clause({Lit::neg(a)});
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+  EXPECT_TRUE(proof.derives_empty());
+  const DratCheckResult check = check_drat(s.clause_log(), proof);
+  EXPECT_TRUE(check.all_steps_valid) << "step " << check.first_invalid_step;
+  EXPECT_TRUE(check.proves_unsat);
+}
+
+TEST(Drat, PigeonholeProofChecks) {
+  for (int holes = 3; holes <= 5; ++holes) {
+    Solver s;
+    Proof proof;
+    s.set_proof(&proof);
+    s.set_clause_log(true);
+    add_pigeonhole(s, holes + 1, holes);
+    ASSERT_EQ(s.solve(), LBool::kFalse) << "holes " << holes;
+    EXPECT_TRUE(proof.derives_empty());
+    const DratCheckResult check = check_drat(s.clause_log(), proof);
+    EXPECT_TRUE(check.all_steps_valid)
+        << "holes " << holes << " step " << check.first_invalid_step;
+    EXPECT_TRUE(check.proves_unsat);
+  }
+}
+
+TEST(Drat, RandomUnsatInstancesCheck) {
+  std::mt19937 rng(17);
+  int checked = 0;
+  for (int round = 0; round < 30 && checked < 8; ++round) {
+    const int n = 8 + static_cast<int>(rng() % 5);
+    const int m = 6 * n;  // well above threshold: almost surely UNSAT
+    Solver s;
+    Proof proof;
+    s.set_proof(&proof);
+    s.set_clause_log(true);
+    for (int i = 0; i < n; ++i) s.new_var();
+    bool ok = true;
+    for (int c = 0; c < m && ok; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.emplace_back(static_cast<Var>(rng() % n), (rng() & 1) != 0);
+      }
+      ok = s.add_clause(clause);
+    }
+    const LBool status = ok ? s.solve() : LBool::kFalse;
+    if (status != LBool::kFalse) continue;
+    checked++;
+    EXPECT_TRUE(proof.derives_empty());
+    const DratCheckResult check = check_drat(s.clause_log(), proof);
+    EXPECT_TRUE(check.all_steps_valid) << "step " << check.first_invalid_step;
+    EXPECT_TRUE(check.proves_unsat);
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Drat, SatRunsLeaveCheckableNonRefutationProof) {
+  Solver s;
+  Proof proof;
+  s.set_proof(&proof);
+  s.set_clause_log(true);
+  // Satisfiable random-ish instance with some search effort.
+  std::mt19937 rng(3);
+  const int n = 20;
+  for (int i = 0; i < n; ++i) s.new_var();
+  for (int c = 0; c < 60; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.emplace_back(static_cast<Var>(rng() % n), (rng() & 1) != 0);
+    }
+    s.add_clause(clause);
+  }
+  if (s.solve() == LBool::kTrue) {
+    EXPECT_FALSE(proof.derives_empty());
+    const DratCheckResult check = check_drat(s.clause_log(), proof);
+    EXPECT_TRUE(check.all_steps_valid) << "step " << check.first_invalid_step;
+    EXPECT_FALSE(check.proves_unsat);
+  }
+}
+
+TEST(Drat, CheckerRejectsBogusStep) {
+  // A clause that is not RUP w.r.t. the database must be flagged.
+  std::vector<Clause> cnf = {{Lit::pos(0), Lit::pos(1)}};
+  Proof proof;
+  proof.add({Lit::pos(0)});  // not implied: {~0} + propagate yields no conflict
+  const DratCheckResult check = check_drat(cnf, proof);
+  EXPECT_FALSE(check.all_steps_valid);
+  EXPECT_EQ(check.first_invalid_step, 0);
+}
+
+TEST(Drat, TextSerialization) {
+  Proof proof;
+  proof.add({Lit::pos(0), Lit::neg(2)});
+  proof.remove({Lit::pos(0), Lit::neg(2)});
+  proof.add({});
+  const std::string text = proof.to_drat();
+  EXPECT_EQ(text, "1 -3 0\nd 1 -3 0\n0\n");
+}
+
+TEST(Drat, DeletionsDoNotBreakLaterSteps) {
+  // After deleting a clause, steps that relied on it must fail; steps that
+  // do not still succeed.
+  std::vector<Clause> cnf = {{Lit::pos(0)}, {Lit::neg(0), Lit::pos(1)}};
+  {
+    Proof proof;
+    proof.add({Lit::pos(1)});  // RUP via both clauses
+    EXPECT_TRUE(check_drat(cnf, proof).all_steps_valid);
+  }
+  {
+    Proof proof;
+    proof.remove({Lit::neg(0), Lit::pos(1)});
+    proof.add({Lit::pos(1)});  // no longer derivable
+    EXPECT_FALSE(check_drat(cnf, proof).all_steps_valid);
+  }
+}
+
+}  // namespace
+}  // namespace olsq2::sat

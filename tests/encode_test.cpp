@@ -1,0 +1,434 @@
+// Tests for the CNF encoding toolkit: Tseitin gates, bit-vectors, one-hot
+// domains, cardinality encodings, and the totalizer.
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "encode/bitvec.h"
+#include "encode/cardinality.h"
+#include "encode/cnf.h"
+#include "encode/onehot.h"
+#include "encode/totalizer.h"
+
+namespace olsq2::encode {
+namespace {
+
+using sat::LBool;
+using sat::Solver;
+
+TEST(CnfBuilder, TrueLitIsTrue) {
+  Solver s;
+  CnfBuilder b(s);
+  const Lit t = b.true_lit();
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_TRUE(s.model_bool(t));
+  EXPECT_FALSE(s.model_bool(b.false_lit()));
+}
+
+TEST(CnfBuilder, AndGateTruthTable) {
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      Solver s;
+      CnfBuilder b(s);
+      const Lit a = b.new_lit();
+      const Lit c = b.new_lit();
+      const Lit y = b.mk_and(a, c);
+      b.add({av ? a : ~a});
+      b.add({bv ? c : ~c});
+      ASSERT_EQ(s.solve(), LBool::kTrue);
+      EXPECT_EQ(s.model_bool(y), (av && bv));
+    }
+  }
+}
+
+TEST(CnfBuilder, XorGateTruthTable) {
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      Solver s;
+      CnfBuilder b(s);
+      const Lit a = b.new_lit();
+      const Lit c = b.new_lit();
+      const Lit y = b.mk_xor(a, c);
+      b.add({av ? a : ~a});
+      b.add({bv ? c : ~c});
+      ASSERT_EQ(s.solve(), LBool::kTrue);
+      EXPECT_EQ(s.model_bool(y), (av != bv));
+    }
+  }
+}
+
+TEST(CnfBuilder, IteGateTruthTable) {
+  for (int cv = 0; cv <= 1; ++cv) {
+    for (int tv = 0; tv <= 1; ++tv) {
+      for (int ev = 0; ev <= 1; ++ev) {
+        Solver s;
+        CnfBuilder b(s);
+        const Lit c = b.new_lit();
+        const Lit t = b.new_lit();
+        const Lit e = b.new_lit();
+        const Lit y = b.mk_ite(c, t, e);
+        b.add({cv ? c : ~c});
+        b.add({tv ? t : ~t});
+        b.add({ev ? e : ~e});
+        ASSERT_EQ(s.solve(), LBool::kTrue);
+        EXPECT_EQ(s.model_bool(y), cv ? (tv != 0) : (ev != 0));
+      }
+    }
+  }
+}
+
+TEST(CnfBuilder, WideOrAndGates) {
+  Solver s;
+  CnfBuilder b(s);
+  std::vector<Lit> xs;
+  for (int i = 0; i < 6; ++i) xs.push_back(b.new_lit());
+  const Lit any = b.mk_or(xs);
+  const Lit all = b.mk_and(xs);
+  for (int i = 0; i < 6; ++i) b.add({i == 3 ? xs[i] : ~xs[i]});
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_TRUE(s.model_bool(any));
+  EXPECT_FALSE(s.model_bool(all));
+}
+
+// Decode a bit-vector's model value.
+std::uint64_t decode(const Solver& s, const BitVec& bv) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bv.width(); ++i) {
+    if (s.model_bool(bv.bit(i))) v |= (std::uint64_t{1} << i);
+  }
+  return v;
+}
+
+TEST(BitVec, WidthFor) {
+  EXPECT_EQ(BitVec::width_for(1), 1);
+  EXPECT_EQ(BitVec::width_for(2), 1);
+  EXPECT_EQ(BitVec::width_for(3), 2);
+  EXPECT_EQ(BitVec::width_for(4), 2);
+  EXPECT_EQ(BitVec::width_for(5), 3);
+  EXPECT_EQ(BitVec::width_for(127), 7);
+  EXPECT_EQ(BitVec::width_for(128), 7);
+  EXPECT_EQ(BitVec::width_for(129), 8);
+}
+
+TEST(BitVec, EqConstExhaustive) {
+  constexpr int kWidth = 3;
+  for (std::uint64_t forced = 0; forced < 8; ++forced) {
+    Solver s;
+    CnfBuilder b(s);
+    BitVec bv = BitVec::fresh(b, kWidth);
+    b.add({bv.eq_const(b, forced)});
+    ASSERT_EQ(s.solve(), LBool::kTrue);
+    EXPECT_EQ(decode(s, bv), forced);
+    // All other eq literals must be false in the model.
+    for (std::uint64_t other = 0; other < 8; ++other) {
+      EXPECT_EQ(s.model_bool(bv.eq_const(b, other)), other == forced);
+    }
+  }
+}
+
+TEST(BitVec, EqConstCacheReturnsSameLiteral) {
+  Solver s;
+  CnfBuilder b(s);
+  BitVec bv = BitVec::fresh(b, 4);
+  EXPECT_EQ(bv.eq_const(b, 9).code(), bv.eq_const(b, 9).code());
+}
+
+// Exhaustive semantics check of ule_const for all widths/values/bounds.
+TEST(BitVec, UleConstExhaustive) {
+  for (int width = 1; width <= 4; ++width) {
+    const std::uint64_t range = std::uint64_t{1} << width;
+    for (std::uint64_t value = 0; value < range; ++value) {
+      for (std::uint64_t bound = 0; bound <= range; ++bound) {
+        Solver s;
+        CnfBuilder b(s);
+        BitVec bv = BitVec::fresh(b, width);
+        b.add({bv.eq_const(b, value)});
+        const Lit le = bv.ule_const(b, bound);
+        ASSERT_EQ(s.solve(), LBool::kTrue);
+        EXPECT_EQ(s.model_bool(le), value <= bound)
+            << "w=" << width << " v=" << value << " bound=" << bound;
+      }
+    }
+  }
+}
+
+TEST(BitVec, AssertLtRestrictsDomain) {
+  for (std::uint64_t n = 1; n <= 8; ++n) {
+    Solver s;
+    CnfBuilder b(s);
+    BitVec bv = BitVec::fresh(b, 3);
+    bv.assert_lt(b, n);
+    // Count models by blocking each found value.
+    std::uint64_t count = 0;
+    while (s.solve() == LBool::kTrue) {
+      const std::uint64_t v = decode(s, bv);
+      EXPECT_LT(v, n);
+      count++;
+      std::vector<Lit> block;
+      for (int i = 0; i < 3; ++i) {
+        block.push_back(s.model_bool(bv.bit(i)) ? ~bv.bit(i) : bv.bit(i));
+      }
+      s.add_clause(block);
+      ASSERT_LE(count, 8u);
+    }
+    EXPECT_EQ(count, n);
+  }
+}
+
+TEST(BitVec, EqBitVecExhaustive) {
+  constexpr int kWidth = 3;
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    for (std::uint64_t y = 0; y < 8; ++y) {
+      Solver s;
+      CnfBuilder b(s);
+      BitVec bx = BitVec::fresh(b, kWidth);
+      BitVec by = BitVec::fresh(b, kWidth);
+      b.add({bx.eq_const(b, x)});
+      b.add({by.eq_const(b, y)});
+      const Lit eq = bx.eq(b, by);
+      ASSERT_EQ(s.solve(), LBool::kTrue);
+      EXPECT_EQ(s.model_bool(eq), x == y);
+    }
+  }
+}
+
+TEST(BitVec, AdderExhaustive) {
+  constexpr int kWidth = 3;
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    for (std::uint64_t y = 0; y < 8; ++y) {
+      Solver s;
+      CnfBuilder b(s);
+      BitVec bx = BitVec::fresh(b, kWidth);
+      BitVec by = BitVec::fresh(b, kWidth);
+      b.add({bx.eq_const(b, x)});
+      b.add({by.eq_const(b, y)});
+      BitVec sum = bx.add(b, by);
+      ASSERT_EQ(s.solve(), LBool::kTrue);
+      EXPECT_EQ(decode(s, sum), x + y);
+    }
+  }
+}
+
+TEST(OneHot, ExactlyOneValueHolds) {
+  Solver s;
+  CnfBuilder b(s);
+  OneHot v = OneHot::fresh(b, 5);
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  int trues = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (s.model_bool(v.eq_const(i))) trues++;
+  }
+  EXPECT_EQ(trues, 1);
+}
+
+TEST(OneHot, LeConstSemantics) {
+  for (int value = 0; value < 5; ++value) {
+    for (int bound = 0; bound < 5; ++bound) {
+      Solver s;
+      CnfBuilder b(s);
+      OneHot v = OneHot::fresh(b, 5);
+      b.add({v.eq_const(value)});
+      const Lit le = v.le_const(b, bound);
+      ASSERT_EQ(s.solve(), LBool::kTrue);
+      EXPECT_EQ(s.model_bool(le), value <= bound);
+    }
+  }
+}
+
+TEST(OneHot, EqOtherSemantics) {
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      Solver s;
+      CnfBuilder b(s);
+      OneHot vx = OneHot::fresh(b, 4);
+      OneHot vy = OneHot::fresh(b, 4);
+      b.add({vx.eq_const(x)});
+      b.add({vy.eq_const(y)});
+      const Lit eq = vx.eq(b, vy);
+      ASSERT_EQ(s.solve(), LBool::kTrue);
+      EXPECT_EQ(s.model_bool(eq), x == y);
+    }
+  }
+}
+
+// ---- Cardinality property tests --------------------------------------------
+
+enum class CardKind { kSeqCounter, kAdder, kTotalizerAssert };
+
+void encode_at_most_k(CnfBuilder& b, std::span<const Lit> lits, int k,
+                      CardKind kind) {
+  switch (kind) {
+    case CardKind::kSeqCounter:
+      at_most_k_seqcounter(b, lits, k);
+      break;
+    case CardKind::kAdder:
+      at_most_k_adder(b, lits, k);
+      break;
+    case CardKind::kTotalizerAssert: {
+      Totalizer tot(b, lits);
+      tot.assert_leq(b, k);
+      break;
+    }
+  }
+}
+
+struct CardCase {
+  CardKind kind;
+  int n;
+  int k;
+};
+
+class CardinalityTest : public ::testing::TestWithParam<CardCase> {};
+
+// For every assignment pattern, forcing exactly m inputs true must be SAT
+// iff m <= k.
+TEST_P(CardinalityTest, ForcedCountsMatchBound) {
+  const auto [kind, n, k] = GetParam();
+  for (int m = 0; m <= n; ++m) {
+    Solver s;
+    CnfBuilder b(s);
+    std::vector<Lit> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(b.new_lit());
+    encode_at_most_k(b, xs, k, kind);
+    // Force the first m true and the rest false.
+    for (int i = 0; i < n; ++i) b.add({i < m ? xs[i] : ~xs[i]});
+    const bool expect_sat = (m <= k);
+    EXPECT_EQ(s.solve() == LBool::kTrue, expect_sat)
+        << "n=" << n << " k=" << k << " m=" << m;
+  }
+}
+
+// With an at-least-k side constraint, model counts must stay in range.
+TEST_P(CardinalityTest, ModelsNeverExceedBound) {
+  const auto [kind, n, k] = GetParam();
+  Solver s;
+  CnfBuilder b(s);
+  std::vector<Lit> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(b.new_lit());
+  encode_at_most_k(b, xs, k, kind);
+  int models = 0;
+  while (s.solve() == LBool::kTrue && models < 200) {
+    int trues = 0;
+    std::vector<Lit> block;
+    for (const Lit x : xs) {
+      const bool v = s.model_bool(x);
+      trues += v ? 1 : 0;
+      block.push_back(v ? ~x : x);
+    }
+    EXPECT_LE(trues, k);
+    s.add_clause(block);
+    models++;
+  }
+  // Number of assignments with <= k of n bits set.
+  auto binom = [](int nn, int kk) {
+    double r = 1;
+    for (int i = 0; i < kk; ++i) r = r * (nn - i) / (i + 1);
+    return static_cast<int>(r + 0.5);
+  };
+  int expected = 0;
+  for (int m = 0; m <= k; ++m) expected += binom(n, m);
+  if (expected <= 200) {
+    EXPECT_EQ(models, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CardinalityTest,
+    ::testing::Values(CardCase{CardKind::kSeqCounter, 5, 2},
+                      CardCase{CardKind::kSeqCounter, 6, 0},
+                      CardCase{CardKind::kSeqCounter, 6, 3},
+                      CardCase{CardKind::kSeqCounter, 7, 6},
+                      CardCase{CardKind::kAdder, 5, 2},
+                      CardCase{CardKind::kAdder, 6, 0},
+                      CardCase{CardKind::kAdder, 6, 3},
+                      CardCase{CardKind::kAdder, 7, 6},
+                      CardCase{CardKind::kTotalizerAssert, 5, 2},
+                      CardCase{CardKind::kTotalizerAssert, 6, 0},
+                      CardCase{CardKind::kTotalizerAssert, 6, 3},
+                      CardCase{CardKind::kTotalizerAssert, 7, 6}));
+
+TEST(AtMostOne, PairwiseAndCommanderAgree) {
+  for (int n : {2, 3, 5, 9, 14}) {
+    for (int variant = 0; variant < 2; ++variant) {
+      Solver s;
+      CnfBuilder b(s);
+      std::vector<Lit> xs;
+      for (int i = 0; i < n; ++i) xs.push_back(b.new_lit());
+      if (variant == 0) {
+        at_most_one_pairwise(b, xs);
+      } else {
+        at_most_one_commander(b, xs, 3);
+      }
+      // Forcing two distinct literals true must be UNSAT.
+      const std::vector<Lit> two = {xs[0], xs[n - 1]};
+      EXPECT_EQ(s.solve(two), LBool::kFalse) << "n=" << n << " v=" << variant;
+      const std::vector<Lit> one = {xs[n / 2]};
+      EXPECT_EQ(s.solve(one), LBool::kTrue);
+    }
+  }
+}
+
+TEST(AtLeastK, ForcedCountsMatchBound) {
+  const int n = 6;
+  for (int k = 0; k <= n + 1; ++k) {
+    for (int m = 0; m <= n; ++m) {
+      Solver s;
+      CnfBuilder b(s);
+      std::vector<Lit> xs;
+      for (int i = 0; i < n; ++i) xs.push_back(b.new_lit());
+      at_least_k_seqcounter(b, xs, k);
+      for (int i = 0; i < n; ++i) s.add_clause({i < m ? xs[i] : ~xs[i]});
+      EXPECT_EQ(s.solve() == LBool::kTrue, m >= k) << "k=" << k << " m=" << m;
+    }
+  }
+}
+
+TEST(Totalizer, OutputsAreSortedUnaryCount) {
+  const int n = 6;
+  for (int m = 0; m <= n; ++m) {
+    Solver s;
+    CnfBuilder b(s);
+    std::vector<Lit> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(b.new_lit());
+    Totalizer tot(b, xs);
+    for (int i = 0; i < n; ++i) b.add({i < m ? xs[i] : ~xs[i]});
+    ASSERT_EQ(s.solve(), LBool::kTrue);
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(s.model_bool(tot.outputs()[j]), j < m)
+          << "m=" << m << " j=" << j;
+    }
+  }
+}
+
+TEST(Totalizer, AssumptionBoundDescent) {
+  // The incremental-descent pattern used by the SWAP optimizer: one solver,
+  // bound tightened purely through assumptions.
+  const int n = 8;
+  Solver s;
+  CnfBuilder b(s);
+  std::vector<Lit> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(b.new_lit());
+  // Require at least 3 true.
+  at_least_k_seqcounter(b, xs, 3);
+  Totalizer tot(b, xs);
+  int k = n;
+  int lowest_sat = -1;
+  while (k >= 0) {
+    const std::vector<Lit> assume = {tot.bound_leq(b, k)};
+    if (s.solve(assume) == LBool::kTrue) {
+      lowest_sat = k;
+      k--;
+    } else {
+      break;
+    }
+  }
+  EXPECT_EQ(lowest_sat, 3);
+  // Solver still usable without assumptions.
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+}  // namespace
+}  // namespace olsq2::encode

@@ -1,0 +1,121 @@
+// Direct tests for the finite-domain variable abstraction (the encoding
+// switch at the heart of the Table I study).
+#include <gtest/gtest.h>
+
+#include "layout/fdvar.h"
+
+namespace olsq2::layout {
+namespace {
+
+using sat::LBool;
+using sat::Solver;
+
+class FdVarEncodings : public ::testing::TestWithParam<VarEncoding> {};
+
+TEST_P(FdVarEncodings, EqLiteralsPartitionTheDomain) {
+  for (const int domain : {1, 2, 3, 5, 8, 11}) {
+    Solver s;
+    encode::CnfBuilder b(s);
+    const FdVar v = FdVar::make(b, domain, GetParam());
+    // Exactly `domain` distinct values are reachable.
+    int models = 0;
+    std::vector<bool> seen(domain, false);
+    while (s.solve() == LBool::kTrue && models <= domain) {
+      const int value = v.decode(s);
+      ASSERT_GE(value, 0);
+      ASSERT_LT(value, domain);
+      EXPECT_FALSE(seen[value]) << "value " << value << " repeated";
+      seen[value] = true;
+      models++;
+      s.add_clause({~v.eq(b, value)});
+    }
+    EXPECT_EQ(models, domain) << "domain " << domain;
+  }
+}
+
+TEST_P(FdVarEncodings, LeLiteralSemantics) {
+  const int domain = 6;
+  for (int value = 0; value < domain; ++value) {
+    for (int bound = -1; bound <= domain; ++bound) {
+      Solver s;
+      encode::CnfBuilder b(s);
+      const FdVar v = FdVar::make(b, domain, GetParam());
+      s.add_clause({v.eq(b, value)});
+      const Lit le = v.le(b, bound);
+      ASSERT_EQ(s.solve(), LBool::kTrue);
+      EXPECT_EQ(s.model_bool(le), value <= bound)
+          << "value " << value << " bound " << bound;
+    }
+  }
+}
+
+TEST_P(FdVarEncodings, AssertLtOrdersValues) {
+  const int domain = 5;
+  for (int x = 0; x < domain; ++x) {
+    for (int y = 0; y < domain; ++y) {
+      Solver s;
+      encode::CnfBuilder b(s);
+      const FdVar a = FdVar::make(b, domain, GetParam());
+      const FdVar c = FdVar::make(b, domain, GetParam());
+      a.assert_lt(b, c);
+      s.add_clause({a.eq(b, x)});
+      s.add_clause({c.eq(b, y)});
+      EXPECT_EQ(s.solve() == LBool::kTrue, x < y) << x << " vs " << y;
+    }
+  }
+}
+
+TEST_P(FdVarEncodings, AssertLeOrdersValues) {
+  const int domain = 4;
+  for (int x = 0; x < domain; ++x) {
+    for (int y = 0; y < domain; ++y) {
+      Solver s;
+      encode::CnfBuilder b(s);
+      const FdVar a = FdVar::make(b, domain, GetParam());
+      const FdVar c = FdVar::make(b, domain, GetParam());
+      a.assert_le(b, c);
+      s.add_clause({a.eq(b, x)});
+      s.add_clause({c.eq(b, y)});
+      EXPECT_EQ(s.solve() == LBool::kTrue, x <= y) << x << " vs " << y;
+    }
+  }
+}
+
+TEST_P(FdVarEncodings, SuggestBiasesButNeverConstrains) {
+  Solver s;
+  encode::CnfBuilder b(s);
+  const FdVar v = FdVar::make(b, 7, GetParam());
+  v.suggest(s, 4);
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  if (GetParam() == VarEncoding::kBinary) {
+    // Binary hints set the variable's own bits, so with no other
+    // constraints the hint must surface. (One-hot hints compete with the
+    // commander auxiliaries' default phases - bias only, not a guarantee.)
+    EXPECT_EQ(v.decode(s), 4);
+  }
+  // A contradicting constraint always wins over the hint.
+  s.add_clause({~v.eq(b, 4)});
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_NE(v.decode(s), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, FdVarEncodings,
+                         ::testing::Values(VarEncoding::kOneHot,
+                                           VarEncoding::kBinary),
+                         [](const auto& info) {
+                           return info.param == VarEncoding::kOneHot
+                                      ? std::string("onehot")
+                                      : std::string("binary");
+                         });
+
+TEST(FdVar, LeCacheReturnsSameLiteral) {
+  Solver s;
+  encode::CnfBuilder b(s);
+  const FdVar v = FdVar::make(b, 9, VarEncoding::kBinary);
+  EXPECT_EQ(v.le(b, 3).code(), v.le(b, 3).code());
+  const FdVar w = FdVar::make(b, 9, VarEncoding::kOneHot);
+  EXPECT_EQ(w.le(b, 5).code(), w.le(b, 5).code());
+}
+
+}  // namespace
+}  // namespace olsq2::layout

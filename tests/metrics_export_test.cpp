@@ -1,0 +1,217 @@
+// Tests for success-rate estimation and result export (routed circuit +
+// human-readable report).
+#include <gtest/gtest.h>
+
+#include "bengen/workloads.h"
+#include "device/presets.h"
+#include "layout/export.h"
+#include "layout/json.h"
+#include "layout/metrics.h"
+#include "layout/olsq2.h"
+#include "layout/tb.h"
+#include "layout/verifier.h"
+#include "qasm/parser.h"
+#include "qasm/writer.h"
+
+namespace olsq2::layout {
+namespace {
+
+Problem make_problem(const circuit::Circuit& c, const device::Device& d,
+                     int sd) {
+  return Problem{&c, &d, sd};
+}
+
+TEST(Metrics, PerfectNoiseGivesUnitSuccess) {
+  const auto c = bengen::qaoa_3regular(4, 1);
+  const auto dev = device::grid(2, 2);
+  const Problem problem = make_problem(c, dev, 1);
+  NoiseModel perfect;
+  perfect.single_qubit_error = 0;
+  perfect.two_qubit_error = 0;
+  perfect.coherence_time_ns = 1e30;
+  const auto f = estimate_success_counts(problem, 5, 3, perfect);
+  EXPECT_DOUBLE_EQ(f.success_rate, 1.0);
+}
+
+TEST(Metrics, MoreSwapsLowerSuccess) {
+  const auto c = bengen::qaoa_3regular(8, 1);
+  const auto dev = device::grid(3, 3);
+  const Problem problem = make_problem(c, dev, 1);
+  const auto few = estimate_success_counts(problem, 10, 2);
+  const auto many = estimate_success_counts(problem, 10, 8);
+  EXPECT_GT(few.success_rate, many.success_rate);
+  EXPECT_EQ(few.swap_cnots, 6);
+  EXPECT_EQ(many.swap_cnots, 24);
+}
+
+TEST(Metrics, DeeperScheduleLowerSuccess) {
+  const auto c = bengen::qaoa_3regular(8, 1);
+  const auto dev = device::grid(3, 3);
+  const Problem problem = make_problem(c, dev, 1);
+  const auto shallow = estimate_success_counts(problem, 8, 3);
+  const auto deep = estimate_success_counts(problem, 40, 3);
+  EXPECT_GT(shallow.success_rate, deep.success_rate);
+  EXPECT_DOUBLE_EQ(shallow.gate_fidelity, deep.gate_fidelity);
+  EXPECT_GT(shallow.coherence_fidelity, deep.coherence_fidelity);
+}
+
+TEST(Metrics, OptimalBeatsHeuristicNumbers) {
+  // The whole point of the paper: fewer swaps + less depth => higher
+  // estimated success. Use synthetic counts mirroring Table III/IV gaps.
+  const auto c = bengen::qaoa_3regular(8, 1);
+  const auto dev = device::grid(3, 3);
+  const Problem problem = make_problem(c, dev, 1);
+  const auto sabre_like = estimate_success_counts(problem, 27, 9);
+  const auto olsq2_like = estimate_success_counts(problem, 9, 3);
+  EXPECT_GT(olsq2_like.success_rate, sabre_like.success_rate);
+}
+
+TEST(Export, RoutedCircuitParsesAndCountsMatch) {
+  const auto c = bengen::qaoa_3regular(6, 2);
+  const auto dev = device::grid(2, 3);
+  const Problem problem = make_problem(c, dev, 1);
+  const Result r = synthesize_swap_optimal(problem);
+  ASSERT_TRUE(r.solved);
+
+  const circuit::Circuit routed = to_physical_circuit(problem, r);
+  EXPECT_EQ(routed.num_qubits(), dev.num_qubits());
+  int swaps = 0;
+  for (const auto& g : routed.gates()) {
+    if (g.name == "swap") swaps++;
+  }
+  EXPECT_EQ(swaps, r.swap_count);
+  EXPECT_EQ(routed.num_gates(), c.num_gates() + r.swap_count);
+
+  // The emitted QASM round-trips through the parser.
+  const auto reparsed = qasm::parse(qasm::write(routed));
+  EXPECT_EQ(reparsed.num_gates(), routed.num_gates());
+}
+
+TEST(Export, RoutedTwoQubitGatesAreAdjacent) {
+  const auto c = bengen::qaoa_3regular(6, 5);
+  const auto dev = device::grid(2, 3);
+  const Problem problem = make_problem(c, dev, 1);
+  const Result r = synthesize_depth_optimal(problem);
+  ASSERT_TRUE(r.solved);
+  const circuit::Circuit routed = to_physical_circuit(problem, r);
+  for (const auto& g : routed.gates()) {
+    if (g.is_two_qubit()) {
+      EXPECT_TRUE(dev.adjacent(g.q0, g.q1))
+          << g.name << " on " << g.q0 << "," << g.q1;
+    }
+  }
+}
+
+TEST(Export, FormatResultMentionsKeyFacts) {
+  const auto c = bengen::qaoa_3regular(4, 1);
+  const auto dev = device::grid(2, 2);
+  const Problem problem = make_problem(c, dev, 1);
+  const Result r = synthesize_swap_optimal(problem);
+  ASSERT_TRUE(r.solved);
+  const std::string text = format_result(problem, r);
+  EXPECT_NE(text.find("depth: "), std::string::npos);
+  EXPECT_NE(text.find("swaps: "), std::string::npos);
+  EXPECT_NE(text.find("initial mapping"), std::string::npos);
+  EXPECT_NE(text.find("schedule:"), std::string::npos);
+}
+
+TEST(ExpandTransition, PassesTimeResolvedVerifier) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 5ULL}) {
+    const auto c = bengen::qaoa_3regular(6, seed);
+    const auto dev = device::grid(2, 3);
+    for (const int sd : {1, 3}) {
+      const Problem problem = make_problem(c, dev, sd);
+      const Result tb = tb_synthesize_swap_optimal(problem);
+      ASSERT_TRUE(tb.solved);
+      ASSERT_TRUE(verify_transition_based(problem, tb).ok);
+
+      const Result expanded = expand_transition_result(problem, tb);
+      ASSERT_TRUE(expanded.solved);
+      EXPECT_FALSE(expanded.transition_based);
+      const Verdict v = verify(problem, expanded);
+      EXPECT_TRUE(v.ok) << "seed " << seed << " sd " << sd << ": "
+                        << (v.errors.empty() ? "" : v.errors.front());
+      EXPECT_EQ(expanded.swap_count, tb.swap_count);
+      EXPECT_GE(expanded.depth, tb.depth);
+    }
+  }
+}
+
+TEST(ExpandTransition, DepthAtLeastExactOptimum) {
+  // The expansion is a valid schedule, so it can never beat the exact
+  // depth optimum.
+  const auto c = bengen::qaoa_3regular(6, 4);
+  const auto dev = device::grid(2, 3);
+  const Problem problem = make_problem(c, dev, 1);
+  const Result exact = synthesize_depth_optimal(problem);
+  const Result tb = tb_synthesize_swap_optimal(problem);
+  ASSERT_TRUE(exact.solved);
+  ASSERT_TRUE(tb.solved);
+  const Result expanded = expand_transition_result(problem, tb);
+  ASSERT_TRUE(expanded.solved);
+  EXPECT_GE(expanded.depth, exact.depth);
+}
+
+TEST(ExpandTransition, RejectsWrongKind) {
+  const auto c = bengen::qaoa_3regular(4, 1);
+  const auto dev = device::grid(2, 2);
+  const Problem problem = make_problem(c, dev, 1);
+  const Result exact = synthesize_depth_optimal(problem);
+  ASSERT_TRUE(exact.solved);
+  const Result expanded = expand_transition_result(problem, exact);
+  EXPECT_FALSE(expanded.solved);
+}
+
+TEST(Json, ContainsExpectedFieldsAndBalances) {
+  const auto c = bengen::qaoa_3regular(6, 2);
+  const auto dev = device::grid(2, 3);
+  const Problem problem = make_problem(c, dev, 1);
+  const Result r = synthesize_swap_optimal(problem);
+  ASSERT_TRUE(r.solved);
+  const std::string json = result_to_json(problem, r);
+  for (const char* field :
+       {"\"circuit\"", "\"device\"", "\"depth\"", "\"swap_count\"",
+        "\"gate_times\"", "\"initial_mapping\"", "\"swaps\"", "\"pareto\"",
+        "\"search\"", "\"hit_budget\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  int braces = 0, brackets = 0;
+  for (const char ch : json) {
+    if (ch == '{') braces++;
+    if (ch == '}') braces--;
+    if (ch == '[') brackets++;
+    if (ch == ']') brackets--;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Json, UnsolvedResultSerializes) {
+  const auto c = bengen::qaoa_3regular(4, 1);
+  const auto dev = device::grid(2, 2);
+  const Problem problem = make_problem(c, dev, 1);
+  Result empty;
+  const std::string json = result_to_json(problem, empty);
+  EXPECT_NE(json.find("\"solved\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"initial_mapping\":[]"), std::string::npos);
+}
+
+TEST(Export, UnsolvedResultFormatsGracefully) {
+  const auto c = bengen::qaoa_3regular(4, 1);
+  const auto dev = device::grid(2, 2);
+  const Problem problem = make_problem(c, dev, 1);
+  Result empty;
+  empty.hit_budget = true;
+  const std::string text = format_result(problem, empty);
+  EXPECT_NE(text.find("no solution"), std::string::npos);
+  EXPECT_NE(text.find("budget"), std::string::npos);
+  const circuit::Circuit routed = to_physical_circuit(problem, empty);
+  EXPECT_EQ(routed.num_gates(), 0);
+}
+
+}  // namespace
+}  // namespace olsq2::layout

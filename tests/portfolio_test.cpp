@@ -1,0 +1,78 @@
+// Tests for portfolio (parallel) synthesis.
+#include <gtest/gtest.h>
+
+#include "bengen/workloads.h"
+#include "device/presets.h"
+#include "layout/olsq2.h"
+#include "layout/portfolio.h"
+#include "layout/verifier.h"
+
+namespace olsq2::layout {
+namespace {
+
+TEST(Portfolio, DefaultEntriesCoverBothObjectives) {
+  const auto depth_entries = default_portfolio(Objective::kDepth);
+  const auto swap_entries = default_portfolio(Objective::kSwap);
+  EXPECT_GE(depth_entries.size(), 3u);
+  EXPECT_GT(swap_entries.size(), depth_entries.size());
+  for (const auto& e : depth_entries) EXPECT_FALSE(e.name.empty());
+}
+
+TEST(Portfolio, DepthWinnerMatchesSequential) {
+  const auto c = bengen::qaoa_3regular(6, 4);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  const Result sequential = synthesize_depth_optimal(problem);
+  ASSERT_TRUE(sequential.solved);
+
+  const PortfolioResult portfolio =
+      synthesize_portfolio(problem, Objective::kDepth,
+                           default_portfolio(Objective::kDepth));
+  ASSERT_TRUE(portfolio.best.solved);
+  EXPECT_GE(portfolio.winner, 0);
+  EXPECT_EQ(portfolio.best.depth, sequential.depth);
+  EXPECT_TRUE(verify(problem, portfolio.best).ok);
+}
+
+TEST(Portfolio, SwapWinnerMatchesSequential) {
+  const auto c = bengen::qaoa_3regular(6, 2);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  const Result sequential = synthesize_swap_optimal(problem);
+  ASSERT_TRUE(sequential.solved);
+
+  const PortfolioResult portfolio = synthesize_portfolio(
+      problem, Objective::kSwap, default_portfolio(Objective::kSwap));
+  ASSERT_TRUE(portfolio.best.solved);
+  EXPECT_EQ(portfolio.best.swap_count, sequential.swap_count);
+  EXPECT_TRUE(verify(problem, portfolio.best).ok);
+}
+
+TEST(Portfolio, EmptyPortfolioReturnsUnsolved) {
+  const auto c = bengen::qaoa_3regular(4, 1);
+  const auto dev = device::grid(2, 2);
+  const Problem problem{&c, &dev, 1};
+  const PortfolioResult r =
+      synthesize_portfolio(problem, Objective::kDepth, {});
+  EXPECT_FALSE(r.best.solved);
+  EXPECT_EQ(r.winner, -1);
+}
+
+TEST(Portfolio, TinyBudgetReportsBestPartial) {
+  const auto c = bengen::qaoa_3regular(10, 3);
+  const auto dev = device::grid(4, 4);
+  const Problem problem{&c, &dev, 1};
+  OptimizerOptions base;
+  base.time_budget_ms = 5.0;  // nobody can finish
+  const PortfolioResult r = synthesize_portfolio(
+      problem, Objective::kDepth, default_portfolio(Objective::kDepth, base));
+  // Either someone got lucky or nothing solved; both must be consistent.
+  if (r.best.solved) {
+    EXPECT_GE(r.winner, 0);
+  } else {
+    EXPECT_EQ(r.winner, -1);
+  }
+}
+
+}  // namespace
+}  // namespace olsq2::layout

@@ -1,0 +1,177 @@
+// Tests for the SatELite-style CNF preprocessor: equivalence with the
+// unpreprocessed formula and model reconstruction.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sat/preprocess.h"
+#include "sat/solver.h"
+
+namespace olsq2::sat {
+namespace {
+
+using Cnf = std::vector<Clause>;
+
+LBool solve_cnf(int num_vars, const Cnf& cnf, std::vector<LBool>* model) {
+  Solver s;
+  for (int i = 0; i < num_vars; ++i) s.new_var();
+  bool ok = true;
+  for (const auto& c : cnf) ok = s.add_clause(c) && ok;
+  if (!ok) return LBool::kFalse;
+  const LBool status = s.solve();
+  if (status == LBool::kTrue && model != nullptr) {
+    model->resize(num_vars);
+    for (int v = 0; v < num_vars; ++v) (*model)[v] = s.model_value(v);
+  }
+  return status;
+}
+
+bool satisfies(const Cnf& cnf, const std::vector<LBool>& model) {
+  for (const auto& c : cnf) {
+    bool any = false;
+    for (const Lit l : c) {
+      if (lit_value(model[l.var()], l.sign()) == LBool::kTrue) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+TEST(Preprocess, SubsumptionRemovesSupersets) {
+  Preprocessor pre;
+  const Cnf cnf = {{Lit::pos(0), Lit::pos(1)},
+                   {Lit::pos(0), Lit::pos(1), Lit::pos(2)},
+                   {Lit::neg(2)}};
+  ASSERT_TRUE(pre.run(3, cnf));
+  EXPECT_GE(pre.stats().subsumed_clauses, 1);
+}
+
+TEST(Preprocess, UnitsPropagate) {
+  Preprocessor pre;
+  const Cnf cnf = {{Lit::pos(0)},
+                   {Lit::neg(0), Lit::pos(1)},
+                   {Lit::neg(1), Lit::pos(2)}};
+  ASSERT_TRUE(pre.run(3, cnf));
+  EXPECT_GE(pre.stats().propagated_units, 3);
+  // The surviving formula must force all three variables true.
+  std::vector<LBool> model;
+  ASSERT_EQ(solve_cnf(3, pre.clauses(), &model), LBool::kTrue);
+  pre.extend_model(model);
+  EXPECT_EQ(model[0], LBool::kTrue);
+  EXPECT_EQ(model[1], LBool::kTrue);
+  EXPECT_EQ(model[2], LBool::kTrue);
+}
+
+TEST(Preprocess, DetectsUnsatDuringSimplification) {
+  Preprocessor pre;
+  const Cnf cnf = {{Lit::pos(0)}, {Lit::neg(0)}};
+  EXPECT_FALSE(pre.run(1, cnf));
+}
+
+TEST(Preprocess, SelfSubsumingResolutionStrengthens) {
+  // (a | b) and (~a | b | c): the second strengthens to (b | c).
+  Preprocessor pre;
+  const Cnf cnf = {{Lit::pos(0), Lit::pos(1)},
+                   {Lit::neg(0), Lit::pos(1), Lit::pos(2)},
+                   {Lit::neg(1), Lit::pos(3), Lit::pos(4)},
+                   {Lit::neg(3), Lit::neg(4)}};
+  ASSERT_TRUE(pre.run(5, cnf));
+  EXPECT_GE(pre.stats().strengthened_literals, 1);
+}
+
+TEST(Preprocess, EliminatesLowOccurrenceVariables) {
+  // x appears once positively and once negatively: always eliminable.
+  Preprocessor pre;
+  const Cnf cnf = {{Lit::pos(0), Lit::pos(1)},
+                   {Lit::neg(0), Lit::pos(2)},
+                   {Lit::neg(1), Lit::neg(2), Lit::pos(3)},
+                   {Lit::pos(1), Lit::neg(3)}};
+  ASSERT_TRUE(pre.run(4, cnf));
+  EXPECT_GE(pre.stats().eliminated_vars, 1);
+  // Equivalence: both formulas satisfiable, reconstructed model works.
+  std::vector<LBool> model;
+  ASSERT_EQ(solve_cnf(4, pre.clauses(), &model), LBool::kTrue);
+  pre.extend_model(model);
+  EXPECT_TRUE(satisfies(cnf, model));
+}
+
+TEST(Preprocess, PureLiteralElimination) {
+  // Variable 0 only occurs positively: eliminable with zero resolvents.
+  Preprocessor pre;
+  const Cnf cnf = {{Lit::pos(0), Lit::pos(1)},
+                   {Lit::pos(0), Lit::neg(1), Lit::pos(2)},
+                   {Lit::neg(2), Lit::pos(1)}};
+  ASSERT_TRUE(pre.run(3, cnf));
+  std::vector<LBool> model;
+  ASSERT_EQ(solve_cnf(3, pre.clauses(), &model), LBool::kTrue);
+  pre.extend_model(model);
+  EXPECT_TRUE(satisfies(cnf, model));
+}
+
+// Property: preprocessing preserves satisfiability, and reconstructed
+// models satisfy the original formula.
+class PreprocessEquivalence : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PreprocessEquivalence, RandomCnfAgrees) {
+  std::mt19937 rng(GetParam() * 2654435761u);
+  for (int round = 0; round < 25; ++round) {
+    const int n = 6 + static_cast<int>(rng() % 12);
+    const int m = static_cast<int>(n * (2.0 + (rng() % 40) / 10.0));
+    Cnf cnf;
+    for (int c = 0; c < m; ++c) {
+      const int len = 1 + static_cast<int>(rng() % 3);
+      Clause clause;
+      for (int k = 0; k < len; ++k) {
+        clause.emplace_back(static_cast<Var>(rng() % n), (rng() & 1) != 0);
+      }
+      cnf.push_back(clause);
+    }
+    const LBool direct = solve_cnf(n, cnf, nullptr);
+
+    Preprocessor pre;
+    if (!pre.run(n, cnf)) {
+      EXPECT_EQ(direct, LBool::kFalse) << "seed " << GetParam() << " r" << round;
+      continue;
+    }
+    std::vector<LBool> model;
+    const LBool simplified = solve_cnf(n, pre.clauses(), &model);
+    EXPECT_EQ(simplified, direct) << "seed " << GetParam() << " r" << round;
+    if (simplified == LBool::kTrue) {
+      model.resize(n, LBool::kUndef);
+      pre.extend_model(model);
+      EXPECT_TRUE(satisfies(cnf, model))
+          << "seed " << GetParam() << " r" << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Preprocess, ShrinksLayoutStyleInstances) {
+  // Tseitin-heavy CNF with many aux definitions should shrink measurably.
+  std::mt19937 rng(9);
+  Cnf cnf;
+  const int n = 60;
+  // Chains of implications plus equivalence ladders (Tseitin-ish).
+  for (int i = 0; i + 1 < n; ++i) {
+    cnf.push_back({Lit::neg(i), Lit::pos(i + 1)});
+  }
+  for (int i = 0; i + 2 < n; i += 3) {
+    cnf.push_back({Lit::neg(i), Lit::neg(i + 1), Lit::pos(i + 2)});
+    cnf.push_back({Lit::pos(i), Lit::neg(i + 2)});
+    cnf.push_back({Lit::pos(i + 1), Lit::neg(i + 2)});
+  }
+  Preprocessor pre;
+  ASSERT_TRUE(pre.run(n, cnf));
+  EXPECT_LT(pre.clauses().size(), cnf.size());
+  EXPECT_GT(pre.stats().eliminated_vars + pre.stats().subsumed_clauses +
+                pre.stats().strengthened_literals,
+            0);
+}
+
+}  // namespace
+}  // namespace olsq2::sat

@@ -1,0 +1,124 @@
+// Tests for the OpenQASM 2.0 lexer, parser, and writer.
+#include <gtest/gtest.h>
+
+#include "qasm/lexer.h"
+#include "qasm/parser.h"
+#include "qasm/writer.h"
+
+namespace olsq2::qasm {
+namespace {
+
+TEST(Lexer, TokenizesBasicProgram) {
+  const auto tokens = tokenize("qreg q[5]; // comment\ncx q[0], q[1];");
+  ASSERT_GE(tokens.size(), 12u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "qreg");
+  EXPECT_EQ(tokens[1].text, "q");
+  EXPECT_EQ(tokens[2].text, "[");
+  EXPECT_EQ(tokens[3].text, "5");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+}
+
+TEST(Lexer, LineNumbersAdvance) {
+  const auto tokens = tokenize("a;\nb;\nc;");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[4].line, 3);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto tokens = tokenize("// whole line\nx q[0]; // trailing");
+  EXPECT_EQ(tokens[0].text, "x");
+}
+
+TEST(Lexer, RejectsIllegalCharacter) {
+  EXPECT_THROW(tokenize("x q[0] @;"), std::runtime_error);
+}
+
+TEST(Parser, BasicCircuit) {
+  const auto c = parse(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+rz(pi/4) q[2];
+cx q[1], q[2];
+measure q[0] -> c[0];
+)");
+  EXPECT_EQ(c.num_qubits(), 3);
+  EXPECT_EQ(c.num_gates(), 4);  // measure/creg ignored
+  EXPECT_EQ(c.gate(0).name, "h");
+  EXPECT_EQ(c.gate(1).name, "cx");
+  EXPECT_EQ(c.gate(1).q0, 0);
+  EXPECT_EQ(c.gate(1).q1, 1);
+  EXPECT_EQ(c.gate(2).params, "pi/4");
+}
+
+TEST(Parser, MultipleRegistersAreFlattened) {
+  const auto c = parse(R"(
+qreg a[2];
+qreg b[2];
+cx a[1], b[0];
+)");
+  EXPECT_EQ(c.num_qubits(), 4);
+  EXPECT_EQ(c.gate(0).q0, 1);
+  EXPECT_EQ(c.gate(0).q1, 2);
+}
+
+TEST(Parser, BarrierAndResetIgnored) {
+  const auto c = parse("qreg q[2]; barrier q[0], q[1]; reset q[0]; x q[1];");
+  EXPECT_EQ(c.num_gates(), 1);
+  EXPECT_EQ(c.gate(0).name, "x");
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse("qreg q[2];\ncx q[0], q[5];");
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownRegister) {
+  EXPECT_THROW(parse("qreg q[2]; cx r[0], q[1];"), std::runtime_error);
+}
+
+TEST(Parser, RejectsThreeQubitGates) {
+  EXPECT_THROW(parse("qreg q[3]; ccx q[0], q[1], q[2];"), std::runtime_error);
+}
+
+TEST(Parser, RejectsRepeatedQubit) {
+  EXPECT_THROW(parse("qreg q[2]; cx q[0], q[0];"), std::runtime_error);
+}
+
+TEST(Parser, RejectsGateDefinitions) {
+  EXPECT_THROW(parse("gate foo a, b { cx a, b; }"), std::runtime_error);
+}
+
+TEST(Parser, NestedParametersKeptVerbatim) {
+  const auto c = parse("qreg q[1]; u3(pi/2,(1+2)*3,0.5e-2) q[0];");
+  EXPECT_EQ(c.gate(0).params, "pi/2,(1+2)*3,0.5e-2");
+}
+
+TEST(Writer, RoundTripsThroughParser) {
+  circuit::Circuit original(3, "rt");
+  original.add_gate("h", 0);
+  original.add_gate("cx", 0, 1);
+  original.add_gate("rz", 2, "pi/8");
+  original.add_gate("swap", 1, 2);
+  const std::string text = write(original);
+  const auto reparsed = parse(text);
+  ASSERT_EQ(reparsed.num_gates(), original.num_gates());
+  EXPECT_EQ(reparsed.num_qubits(), original.num_qubits());
+  for (int g = 0; g < original.num_gates(); ++g) {
+    EXPECT_EQ(reparsed.gate(g).name, original.gate(g).name);
+    EXPECT_EQ(reparsed.gate(g).q0, original.gate(g).q0);
+    EXPECT_EQ(reparsed.gate(g).q1, original.gate(g).q1);
+  }
+}
+
+}  // namespace
+}  // namespace olsq2::qasm

@@ -1,0 +1,77 @@
+// Fuzz-style sweep: random connected devices x QUEKO planted optima.
+// Exercises the full stack (generator -> model -> optimizer -> verifier)
+// on topologies no preset covers.
+#include <gtest/gtest.h>
+
+#include "bengen/rng.h"
+#include "bengen/workloads.h"
+#include "device/device.h"
+#include "layout/olsq2.h"
+#include "layout/tb.h"
+#include "layout/verifier.h"
+
+namespace olsq2::layout {
+namespace {
+
+// Random connected device: a spanning tree plus extra random edges.
+device::Device random_device(int qubits, int extra_edges, std::uint64_t seed) {
+  bengen::Rng rng(seed);
+  std::vector<device::Edge> edges;
+  std::vector<int> order(qubits);
+  for (int i = 0; i < qubits; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (int i = 1; i < qubits; ++i) {
+    edges.push_back({order[rng.below_int(i)], order[i]});
+  }
+  int added = 0;
+  int guard = 0;
+  while (added < extra_edges && ++guard < 100) {
+    const int a = rng.below_int(qubits);
+    const int b = rng.below_int(qubits);
+    if (a == b) continue;
+    bool duplicate = false;
+    for (const auto& e : edges) {
+      if ((e.p0 == a && e.p1 == b) || (e.p0 == b && e.p1 == a)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    edges.push_back({a, b});
+    added++;
+  }
+  return device::Device("random" + std::to_string(seed), qubits,
+                        std::move(edges));
+}
+
+class RandomDeviceQueko : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDeviceQueko, PlantedDepthRecoveredAndZeroSwaps) {
+  const std::uint64_t seed = GetParam();
+  bengen::Rng rng(seed * 31);
+  const int qubits = 5 + rng.below_int(3);
+  const auto dev = random_device(qubits, 2 + rng.below_int(3), seed);
+  bengen::QuekoSpec spec;
+  spec.depth = 3 + rng.below_int(3);
+  spec.gate_count = spec.depth * 2;
+  spec.seed = seed;
+  const auto c = bengen::queko(dev, spec);
+  const Problem problem{&c, &dev, 3};
+
+  const Result depth_opt = synthesize_depth_optimal(problem);
+  ASSERT_TRUE(depth_opt.solved) << "seed " << seed;
+  EXPECT_EQ(depth_opt.depth, spec.depth) << "seed " << seed;
+  EXPECT_TRUE(verify(problem, depth_opt).ok) << "seed " << seed;
+
+  const Result tb = tb_synthesize_swap_optimal(problem);
+  ASSERT_TRUE(tb.solved) << "seed " << seed;
+  EXPECT_EQ(tb.swap_count, 0) << "seed " << seed;
+  EXPECT_TRUE(verify_transition_based(problem, tb).ok) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDeviceQueko,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u));
+
+}  // namespace
+}  // namespace olsq2::layout

@@ -1,0 +1,162 @@
+// Tests for the solver's auxiliary features: DIMACS I/O, clause logging,
+// assumption cores, and asynchronous interruption.
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.h"
+#include "sat/solver.h"
+
+namespace olsq2::sat {
+namespace {
+
+TEST(Dimacs, RoundTrip) {
+  std::vector<Clause> clauses = {
+      {Lit::pos(0), Lit::neg(1)},
+      {Lit::pos(1), Lit::pos(2), Lit::neg(0)},
+      {Lit::neg(2)},
+  };
+  const std::string text = to_dimacs(3, clauses);
+  const DimacsProblem parsed = parse_dimacs(text);
+  EXPECT_EQ(parsed.num_vars, 3);
+  ASSERT_EQ(parsed.clauses.size(), clauses.size());
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    EXPECT_EQ(parsed.clauses[i], clauses[i]);
+  }
+}
+
+TEST(Dimacs, ParsesCommentsAndMultilineClauses) {
+  const DimacsProblem p = parse_dimacs(
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 -2\n"
+      "0\n"
+      "c inner comment\n"
+      "2 3 0\n");
+  EXPECT_EQ(p.num_vars, 3);
+  ASSERT_EQ(p.clauses.size(), 2u);
+  EXPECT_EQ(p.clauses[0].size(), 2u);
+  EXPECT_EQ(p.clauses[1].size(), 2u);
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  EXPECT_THROW(parse_dimacs("1 2 0\n"), std::runtime_error);     // no header
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n5 0\n"), std::runtime_error);  // range
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 2\n"), std::runtime_error);  // no 0
+}
+
+TEST(ClauseLog, RecordsAddedClauses) {
+  Solver s;
+  s.set_clause_log(true);
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({Lit::pos(a), Lit::pos(b)});
+  s.add_clause({Lit::neg(a)});
+  ASSERT_EQ(s.clause_log().size(), 2u);
+  EXPECT_EQ(s.clause_log()[0].size(), 2u);
+  // Exported DIMACS solves to the same answer in a fresh solver.
+  const std::string text = to_dimacs(s.num_vars(), s.clause_log());
+  const DimacsProblem parsed = parse_dimacs(text);
+  Solver fresh;
+  for (int i = 0; i < parsed.num_vars; ++i) fresh.new_var();
+  for (const auto& clause : parsed.clauses) fresh.add_clause(clause);
+  EXPECT_EQ(fresh.solve(), s.solve());
+}
+
+TEST(AssumptionCore, SingleCulprit) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_clause({Lit::neg(a)});  // a is false in every model
+  const std::vector<Lit> assumps = {Lit::pos(b), Lit::pos(a), Lit::pos(c)};
+  ASSERT_EQ(s.solve(assumps), LBool::kFalse);
+  const auto& core = s.conflict_core();
+  ASSERT_FALSE(core.empty());
+  // The core mentions only the inconsistent assumption a.
+  for (const Lit l : core) {
+    EXPECT_EQ(l.var(), a);
+  }
+}
+
+TEST(AssumptionCore, PropagatedConflict) {
+  // a -> x, b -> ~x: assuming both a and b is inconsistent; the core must
+  // be a subset of {a, b}.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var x = s.new_var();
+  const Var unrelated = s.new_var();
+  s.add_clause({Lit::neg(a), Lit::pos(x)});
+  s.add_clause({Lit::neg(b), Lit::neg(x)});
+  const std::vector<Lit> assumps = {Lit::pos(unrelated), Lit::pos(a),
+                                    Lit::pos(b)};
+  ASSERT_EQ(s.solve(assumps), LBool::kFalse);
+  for (const Lit l : s.conflict_core()) {
+    EXPECT_TRUE(l.var() == a || l.var() == b)
+        << "core leaked unrelated variable " << l.var();
+  }
+  // Assuming just the core must still be UNSAT.
+  std::vector<Lit> core_only;
+  for (const Lit l : s.conflict_core()) core_only.push_back(~l);
+  EXPECT_EQ(s.solve(core_only), LBool::kFalse);
+}
+
+TEST(AssumptionCore, ClearedOnSat) {
+  Solver s;
+  const Var a = s.new_var();
+  const std::vector<Lit> assumps = {Lit::pos(a)};
+  ASSERT_EQ(s.solve(assumps), LBool::kTrue);
+  EXPECT_TRUE(s.conflict_core().empty());
+}
+
+void add_hard_instance(Solver& s, int holes) {
+  std::vector<std::vector<Var>> p(holes + 1, std::vector<Var>(holes));
+  for (auto& row : p) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int i = 0; i <= holes; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < holes; ++j) clause.push_back(Lit::pos(p[i][j]));
+    s.add_clause(clause);
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i = 0; i <= holes; ++i) {
+      for (int k = i + 1; k <= holes; ++k) {
+        s.add_clause({Lit::neg(p[i][j]), Lit::neg(p[k][j])});
+      }
+    }
+  }
+}
+
+TEST(Interrupt, StopsInFlightSolve) {
+  Solver s;
+  add_hard_instance(s, 11);  // big enough to run for a while
+  std::thread stopper([&s] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    s.interrupt();
+  });
+  const LBool status = s.solve();
+  stopper.join();
+  // Either it was genuinely fast, or the interrupt converted it to kUndef.
+  if (status == LBool::kUndef) {
+    EXPECT_TRUE(s.interrupted());
+    s.clear_interrupt();
+    EXPECT_FALSE(s.interrupted());
+  }
+}
+
+TEST(Interrupt, ExternalFlagShared) {
+  std::atomic<bool> flag{true};
+  Solver s;
+  s.set_external_interrupt(&flag);
+  const Var a = s.new_var();
+  s.add_clause({Lit::pos(a)});
+  EXPECT_EQ(s.solve(), LBool::kUndef);  // cancelled before starting
+  flag.store(false);
+  EXPECT_EQ(s.solve(), LBool::kTrue);
+}
+
+}  // namespace
+}  // namespace olsq2::sat

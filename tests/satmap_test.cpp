@@ -1,0 +1,116 @@
+// Tests for the SATMap-style layer-sliced mapper.
+#include <gtest/gtest.h>
+
+#include "bengen/workloads.h"
+#include "device/presets.h"
+#include "layout/tb.h"
+#include "satmap/satmap.h"
+
+namespace olsq2::satmap {
+namespace {
+
+TEST(Satmap, AdjacencyFriendlyCircuitNeedsNoSwapsInOneSlice) {
+  // All three pairs are simultaneously adjacent under the identity mapping
+  // on a line, so a whole-circuit slice routes with zero SWAPs. (With
+  // per-layer slices the greedy slice-local optimum may still pay SWAPs -
+  // exactly the myopia the paper criticizes in layer-by-layer methods.)
+  circuit::Circuit c(4, "nn");
+  c.add_gate("cx", 0, 1);
+  c.add_gate("cx", 2, 3);
+  c.add_gate("cx", 1, 2);
+  const auto dev = device::grid(1, 4);
+  const layout::Problem problem{&c, &dev, 1};
+  SatmapOptions whole;
+  whole.layers_per_slice = 100;
+  const SatmapResult r = route(problem, whole);
+  ASSERT_TRUE(r.solved);
+  EXPECT_EQ(r.swap_count, 0);
+
+  // Per-layer slicing still solves, possibly paying extra SWAPs.
+  const SatmapResult layered = route(problem);
+  ASSERT_TRUE(layered.solved);
+  EXPECT_GE(layered.swap_count, 0);
+}
+
+TEST(Satmap, TriangleOnLineNeedsASwap) {
+  circuit::Circuit c(3, "triangle");
+  c.add_gate("zz", 0, 1);
+  c.add_gate("zz", 1, 2);
+  c.add_gate("zz", 0, 2);
+  const auto dev = device::grid(1, 3);
+  const layout::Problem problem{&c, &dev, 1};
+  const SatmapResult r = route(problem);
+  ASSERT_TRUE(r.solved);
+  EXPECT_GE(r.swap_count, 1);
+}
+
+TEST(Satmap, SliceMappingsAreInjective) {
+  const auto c = bengen::qaoa_3regular(6, 2);
+  const auto dev = device::grid(2, 3);
+  const layout::Problem problem{&c, &dev, 1};
+  const SatmapResult r = route(problem);
+  ASSERT_TRUE(r.solved);
+  for (const auto& mapping : r.slice_mappings) {
+    std::vector<bool> used(dev.num_qubits(), false);
+    for (const int p : mapping) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, dev.num_qubits());
+      EXPECT_FALSE(used[p]);
+      used[p] = true;
+    }
+  }
+}
+
+TEST(Satmap, NeverBeatsTransitionBasedOptimum) {
+  // Slicing imposes extra constraints (the paper's core criticism), so the
+  // per-slice optimum can only match or exceed TB-OLSQ2's global optimum.
+  for (const std::uint64_t seed : {2ULL, 4ULL, 6ULL}) {
+    const auto c = bengen::qaoa_3regular(6, seed);
+    const auto dev = device::grid(2, 3);
+    const layout::Problem problem{&c, &dev, 1};
+    const SatmapResult sm = route(problem);
+    const layout::Result tb = layout::tb_synthesize_swap_optimal(problem);
+    ASSERT_TRUE(sm.solved);
+    ASSERT_TRUE(tb.solved);
+    EXPECT_GE(sm.swap_count, tb.swap_count) << "seed " << seed;
+  }
+}
+
+TEST(Satmap, SliceWidthControlsSliceCount) {
+  // On a nearest-neighbor chain (every grouping is simultaneously
+  // satisfiable) wider slices reduce the slice count and never increase
+  // the SWAP total.
+  circuit::Circuit c(5, "chain");
+  for (int round = 0; round < 3; ++round) {
+    for (int q = 0; q + 1 < 5; ++q) c.add_gate("cx", q, q + 1);
+  }
+  const auto dev = device::grid(1, 5);
+  const layout::Problem problem{&c, &dev, 1};
+  SatmapOptions narrow;
+  narrow.layers_per_slice = 1;
+  SatmapOptions wide;
+  wide.layers_per_slice = 1000;
+  const SatmapResult rn = route(problem, narrow);
+  const SatmapResult rw = route(problem, wide);
+  ASSERT_TRUE(rn.solved);
+  ASSERT_TRUE(rw.solved);
+  EXPECT_GT(rn.slice_count, rw.slice_count);
+  EXPECT_EQ(rw.slice_count, 1);
+  EXPECT_LE(rw.swap_count, rn.swap_count);
+  EXPECT_EQ(rw.swap_count, 0);
+}
+
+TEST(Satmap, BudgetExpiryIsReported) {
+  const auto c = bengen::qaoa_3regular(12, 3);
+  const auto dev = device::grid(4, 4);
+  const layout::Problem problem{&c, &dev, 1};
+  SatmapOptions options;
+  options.time_budget_ms = 0.1;
+  const SatmapResult r = route(problem, options);
+  if (!r.solved) {
+    EXPECT_TRUE(r.hit_budget);
+  }
+}
+
+}  // namespace
+}  // namespace olsq2::satmap

@@ -1,0 +1,174 @@
+// Tests for the state-vector simulator and the functional-equivalence
+// check on routed circuits - the semantic counterpart of the constraint
+// verifier.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "astar/astar.h"
+#include "bengen/workloads.h"
+#include "device/presets.h"
+#include "layout/export.h"
+#include "layout/olsq2.h"
+#include "sabre/sabre.h"
+#include "sim/statevector.h"
+
+namespace olsq2::sim {
+namespace {
+
+TEST(ParseAngle, SupportedForms) {
+  EXPECT_DOUBLE_EQ(parse_angle("pi"), M_PI);
+  EXPECT_DOUBLE_EQ(parse_angle("-pi"), -M_PI);
+  EXPECT_DOUBLE_EQ(parse_angle("pi/2"), M_PI / 2);
+  EXPECT_DOUBLE_EQ(parse_angle("-pi/4"), -M_PI / 4);
+  EXPECT_DOUBLE_EQ(parse_angle("0.7"), 0.7);
+  EXPECT_DOUBLE_EQ(parse_angle("-1.5"), -1.5);
+  EXPECT_DOUBLE_EQ(parse_angle("2*pi"), 2 * M_PI);
+  EXPECT_THROW(parse_angle("theta"), std::runtime_error);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector s(1);
+  s.apply({"h", 0, -1, ""});
+  const auto& a = s.amplitudes();
+  EXPECT_NEAR(std::abs(a[0]), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(a[1]), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(StateVector, BellState) {
+  StateVector s(2);
+  s.apply({"h", 0, -1, ""});
+  s.apply({"cx", 0, 1, ""});
+  const auto& a = s.amplitudes();
+  EXPECT_NEAR(std::abs(a[0b00]), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(a[0b11]), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(a[0b01]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(a[0b10]), 0.0, 1e-12);
+}
+
+TEST(StateVector, SwapMovesExcitation) {
+  StateVector s(2);
+  s.apply({"x", 0, -1, ""});
+  s.apply({"swap", 0, 1, ""});
+  EXPECT_NEAR(std::abs(s.amplitudes()[0b10]), 1.0, 1e-12);
+}
+
+TEST(StateVector, SwapEqualsThreeCnots) {
+  StateVector via_swap(2);
+  via_swap.apply({"h", 0, -1, ""});
+  via_swap.apply({"t", 1, -1, ""});
+  via_swap.apply({"swap", 0, 1, ""});
+
+  StateVector via_cnots(2);
+  via_cnots.apply({"h", 0, -1, ""});
+  via_cnots.apply({"t", 1, -1, ""});
+  via_cnots.apply({"cx", 0, 1, ""});
+  via_cnots.apply({"cx", 1, 0, ""});
+  via_cnots.apply({"cx", 0, 1, ""});
+
+  EXPECT_NEAR(via_swap.overlap(via_cnots), 1.0, 1e-12);
+}
+
+TEST(StateVector, TofolliNetworkActsAsToffoli) {
+  // The 15-gate network from the paper's Fig. 2 must flip the target iff
+  // both controls are set.
+  const auto network = [] {
+    circuit::Circuit c(3, "toffoli");
+    c.add_gate("h", 2);
+    c.add_gate("cx", 1, 2);
+    c.add_gate("tdg", 2);
+    c.add_gate("cx", 0, 2);
+    c.add_gate("t", 2);
+    c.add_gate("cx", 1, 2);
+    c.add_gate("tdg", 2);
+    c.add_gate("cx", 0, 2);
+    c.add_gate("t", 1);
+    c.add_gate("t", 2);
+    c.add_gate("h", 2);
+    c.add_gate("cx", 0, 1);
+    c.add_gate("t", 0);
+    c.add_gate("tdg", 1);
+    c.add_gate("cx", 0, 1);
+    return c;
+  }();
+  for (int input = 0; input < 8; ++input) {
+    StateVector s(3);
+    if (input & 1) s.apply({"x", 0, -1, ""});
+    if (input & 2) s.apply({"x", 1, -1, ""});
+    if (input & 4) s.apply({"x", 2, -1, ""});
+    s.apply_circuit(network);
+    const int expected =
+        ((input & 3) == 3) ? (input ^ 4) : input;  // flip target iff c0&c1
+    EXPECT_NEAR(std::abs(s.amplitudes()[expected]), 1.0, 1e-9)
+        << "input " << input;
+  }
+}
+
+TEST(Equivalence, Olsq2RoutedCircuitIsFunctionallyCorrect) {
+  for (const std::uint64_t seed : {1ULL, 4ULL}) {
+    const auto c = bengen::qaoa_3regular(4, seed);
+    const auto dev = device::grid(2, 3);
+    const layout::Problem problem{&c, &dev, 1};
+    const layout::Result r = layout::synthesize_swap_optimal(problem);
+    ASSERT_TRUE(r.solved);
+    const auto routed = layout::to_physical_circuit(problem, r);
+    const EquivalenceReport report = check_routed_equivalence(
+        c, routed, r.mapping.front(), r.mapping.back());
+    EXPECT_TRUE(report.equivalent)
+        << "seed " << seed << " overlap " << report.worst_overlap << " "
+        << report.error;
+  }
+}
+
+TEST(Equivalence, SabreRoutedCircuitIsFunctionallyCorrect) {
+  const auto c = bengen::tof(3);  // 5 qubits, Clifford+T
+  const auto dev = device::ibm_qx2();
+  const layout::Problem problem{&c, &dev, 3};
+  const sabre::SabreResult r = sabre::route(problem);
+  const EquivalenceReport report = check_routed_equivalence(
+      c, r.routed, r.initial_mapping, r.final_mapping);
+  EXPECT_TRUE(report.equivalent)
+      << "overlap " << report.worst_overlap << " " << report.error;
+}
+
+TEST(Equivalence, AstarRoutedCircuitIsFunctionallyCorrect) {
+  const auto c = bengen::qaoa_3regular(6, 3);
+  const auto dev = device::grid(2, 3);
+  const layout::Problem problem{&c, &dev, 1};
+  const astar::AstarResult r = astar::route(problem);
+  const EquivalenceReport report = check_routed_equivalence(
+      c, r.routed, r.initial_mapping, r.final_mapping);
+  EXPECT_TRUE(report.equivalent)
+      << "overlap " << report.worst_overlap << " " << report.error;
+}
+
+TEST(Equivalence, DetectsACorruptedRouting) {
+  const auto c = bengen::qaoa_3regular(4, 2);
+  const auto dev = device::grid(2, 2);
+  const layout::Problem problem{&c, &dev, 1};
+  const layout::Result r = layout::synthesize_swap_optimal(problem);
+  ASSERT_TRUE(r.solved);
+  auto routed = layout::to_physical_circuit(problem, r);
+  // Corrupt: append a stray X on some physical qubit.
+  routed.add_gate("x", 0);
+  const EquivalenceReport report = check_routed_equivalence(
+      c, routed, r.mapping.front(), r.mapping.back());
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_LT(report.worst_overlap, 0.999);
+}
+
+TEST(Equivalence, RejectsOversizedDevices) {
+  const auto c = bengen::qaoa_3regular(4, 1);
+  const auto dev = device::google_sycamore54();
+  const layout::Problem problem{&c, &dev, 1};
+  const layout::Result r = layout::synthesize_depth_optimal(problem);
+  ASSERT_TRUE(r.solved);
+  const auto routed = layout::to_physical_circuit(problem, r);
+  const EquivalenceReport report = check_routed_equivalence(
+      c, routed, r.mapping.front(), r.mapping.back());
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_FALSE(report.error.empty());
+}
+
+}  // namespace
+}  // namespace olsq2::sim

@@ -1,0 +1,107 @@
+// Tests for the windowed hybrid synthesizer.
+#include <gtest/gtest.h>
+
+#include "bengen/workloads.h"
+#include "device/presets.h"
+#include "layout/tb.h"
+#include "layout/windowed.h"
+#include "satmap/satmap.h"
+
+namespace olsq2::layout {
+namespace {
+
+TEST(Windowed, SingleWindowMatchesTbOptimum) {
+  // With everything in one window, the hybrid *is* TB-OLSQ2.
+  const auto c = bengen::qaoa_3regular(6, 2);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  const Result exact = tb_synthesize_swap_optimal(problem);
+  ASSERT_TRUE(exact.solved);
+  WindowedOptions options;
+  options.gates_per_window = 1000;
+  const WindowedResult hybrid = synthesize_windowed_swap(problem, options);
+  ASSERT_TRUE(hybrid.solved);
+  EXPECT_EQ(hybrid.window_count, 1);
+  EXPECT_EQ(hybrid.swap_count, exact.swap_count);
+}
+
+TEST(Windowed, SmallerWindowsNeverBeatGlobalOptimum) {
+  for (const std::uint64_t seed : {1ULL, 3ULL}) {
+    const auto c = bengen::qaoa_3regular(6, seed);
+    const auto dev = device::grid(2, 3);
+    const Problem problem{&c, &dev, 1};
+    const Result exact = tb_synthesize_swap_optimal(problem);
+    ASSERT_TRUE(exact.solved);
+    WindowedOptions options;
+    options.gates_per_window = 3;
+    const WindowedResult hybrid = synthesize_windowed_swap(problem, options);
+    ASSERT_TRUE(hybrid.solved);
+    EXPECT_GT(hybrid.window_count, 1);
+    EXPECT_GE(hybrid.swap_count, exact.swap_count) << "seed " << seed;
+  }
+}
+
+TEST(Windowed, MappingsChainConsistently) {
+  const auto c = bengen::qaoa_3regular(8, 4);
+  const auto dev = device::grid(3, 3);
+  const Problem problem{&c, &dev, 1};
+  WindowedOptions options;
+  options.gates_per_window = 4;
+  const WindowedResult r = synthesize_windowed_swap(problem, options);
+  ASSERT_TRUE(r.solved);
+  ASSERT_EQ(static_cast<int>(r.window_mappings.size()), r.window_count);
+  // Every window entry mapping (and the final one) is injective.
+  auto injective = [&](const std::vector<int>& m) {
+    std::vector<bool> used(dev.num_qubits(), false);
+    for (const int p : m) {
+      if (p < 0 || p >= dev.num_qubits() || used[p]) return false;
+      used[p] = true;
+    }
+    return true;
+  };
+  for (const auto& m : r.window_mappings) EXPECT_TRUE(injective(m));
+  EXPECT_TRUE(injective(r.final_mapping));
+}
+
+TEST(Windowed, ScalesToLargeQuekoCircuits) {
+  // A 200-gate QUEKO circuit: whole-circuit exact synthesis would need a
+  // large model; windows keep each SAT instance small. The planted global
+  // optimum is 0 swaps; window-local choices may deviate (the first window
+  // can pick a zero-swap mapping that does not extend), so assert a small
+  // bound rather than exact optimality - the point is scalability with
+  // near-optimal quality.
+  const auto dev = device::rigetti_aspen4();
+  bengen::QuekoSpec spec;
+  spec.depth = 20;
+  spec.gate_count = 200;
+  spec.seed = 5;
+  const auto c = bengen::queko(dev, spec);
+  const Problem problem{&c, &dev, 3};
+  WindowedOptions options;
+  options.gates_per_window = 40;
+  options.time_budget_ms = 120000;
+  const WindowedResult r = synthesize_windowed_swap(problem, options);
+  ASSERT_TRUE(r.solved);
+  EXPECT_GT(r.window_count, 2);
+  // Windows of several dependency layers must not lose to per-layer
+  // slicing (the SATMap-style mapper) on the same instance.
+  satmap::SatmapOptions slicer;
+  slicer.time_budget_ms = 120000;
+  const satmap::SatmapResult sliced = satmap::route(problem, slicer);
+  if (sliced.solved) {
+    EXPECT_LE(r.swap_count, sliced.swap_count);
+  }
+}
+
+TEST(Windowed, EmptyCircuit) {
+  circuit::Circuit c(3, "empty");
+  const auto dev = device::grid(1, 3);
+  const Problem problem{&c, &dev, 1};
+  const WindowedResult r = synthesize_windowed_swap(problem);
+  EXPECT_TRUE(r.solved);
+  EXPECT_EQ(r.window_count, 0);
+  EXPECT_EQ(r.swap_count, 0);
+}
+
+}  // namespace
+}  // namespace olsq2::layout
