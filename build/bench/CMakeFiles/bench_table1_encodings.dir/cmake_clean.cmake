@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_encodings.dir/bench_table1_encodings.cpp.o"
+  "CMakeFiles/bench_table1_encodings.dir/bench_table1_encodings.cpp.o.d"
+  "bench_table1_encodings"
+  "bench_table1_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

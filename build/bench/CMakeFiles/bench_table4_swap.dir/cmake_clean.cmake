@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_swap.dir/bench_table4_swap.cpp.o"
+  "CMakeFiles/bench_table4_swap.dir/bench_table4_swap.cpp.o.d"
+  "bench_table4_swap"
+  "bench_table4_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

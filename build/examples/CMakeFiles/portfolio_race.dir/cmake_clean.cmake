@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio_race.dir/portfolio_race.cpp.o"
+  "CMakeFiles/portfolio_race.dir/portfolio_race.cpp.o.d"
+  "portfolio_race"
+  "portfolio_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

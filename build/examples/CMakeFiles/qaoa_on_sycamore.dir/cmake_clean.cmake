@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_on_sycamore.dir/qaoa_on_sycamore.cpp.o"
+  "CMakeFiles/qaoa_on_sycamore.dir/qaoa_on_sycamore.cpp.o.d"
+  "qaoa_on_sycamore"
+  "qaoa_on_sycamore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_on_sycamore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

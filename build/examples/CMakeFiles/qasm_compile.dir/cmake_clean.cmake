@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_compile.dir/qasm_compile.cpp.o"
+  "CMakeFiles/qasm_compile.dir/qasm_compile.cpp.o.d"
+  "qasm_compile"
+  "qasm_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

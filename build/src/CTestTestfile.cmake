@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sat")
+subdirs("encode")
+subdirs("circuit")
+subdirs("qasm")
+subdirs("device")
+subdirs("bengen")
+subdirs("layout")
+subdirs("sabre")
+subdirs("satmap")
+subdirs("astar")
+subdirs("sim")

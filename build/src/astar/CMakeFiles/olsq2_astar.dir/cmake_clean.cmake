@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_astar.dir/astar.cpp.o"
+  "CMakeFiles/olsq2_astar.dir/astar.cpp.o.d"
+  "libolsq2_astar.a"
+  "libolsq2_astar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_astar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

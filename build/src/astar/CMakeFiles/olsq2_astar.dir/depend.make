@@ -1,0 +1,2 @@
+# Empty dependencies file for olsq2_astar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_bengen.dir/graphgen.cpp.o"
+  "CMakeFiles/olsq2_bengen.dir/graphgen.cpp.o.d"
+  "CMakeFiles/olsq2_bengen.dir/workloads.cpp.o"
+  "CMakeFiles/olsq2_bengen.dir/workloads.cpp.o.d"
+  "libolsq2_bengen.a"
+  "libolsq2_bengen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_bengen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

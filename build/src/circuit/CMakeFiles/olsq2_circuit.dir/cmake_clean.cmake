@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/olsq2_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/olsq2_circuit.dir/dependency.cpp.o"
+  "CMakeFiles/olsq2_circuit.dir/dependency.cpp.o.d"
+  "libolsq2_circuit.a"
+  "libolsq2_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

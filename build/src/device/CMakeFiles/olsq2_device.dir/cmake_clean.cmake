@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_device.dir/device.cpp.o"
+  "CMakeFiles/olsq2_device.dir/device.cpp.o.d"
+  "CMakeFiles/olsq2_device.dir/presets.cpp.o"
+  "CMakeFiles/olsq2_device.dir/presets.cpp.o.d"
+  "libolsq2_device.a"
+  "libolsq2_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encode/bitvec.cpp" "src/encode/CMakeFiles/olsq2_encode.dir/bitvec.cpp.o" "gcc" "src/encode/CMakeFiles/olsq2_encode.dir/bitvec.cpp.o.d"
+  "/root/repo/src/encode/cardinality.cpp" "src/encode/CMakeFiles/olsq2_encode.dir/cardinality.cpp.o" "gcc" "src/encode/CMakeFiles/olsq2_encode.dir/cardinality.cpp.o.d"
+  "/root/repo/src/encode/cnf.cpp" "src/encode/CMakeFiles/olsq2_encode.dir/cnf.cpp.o" "gcc" "src/encode/CMakeFiles/olsq2_encode.dir/cnf.cpp.o.d"
+  "/root/repo/src/encode/totalizer.cpp" "src/encode/CMakeFiles/olsq2_encode.dir/totalizer.cpp.o" "gcc" "src/encode/CMakeFiles/olsq2_encode.dir/totalizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/olsq2_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_encode.dir/bitvec.cpp.o"
+  "CMakeFiles/olsq2_encode.dir/bitvec.cpp.o.d"
+  "CMakeFiles/olsq2_encode.dir/cardinality.cpp.o"
+  "CMakeFiles/olsq2_encode.dir/cardinality.cpp.o.d"
+  "CMakeFiles/olsq2_encode.dir/cnf.cpp.o"
+  "CMakeFiles/olsq2_encode.dir/cnf.cpp.o.d"
+  "CMakeFiles/olsq2_encode.dir/totalizer.cpp.o"
+  "CMakeFiles/olsq2_encode.dir/totalizer.cpp.o.d"
+  "libolsq2_encode.a"
+  "libolsq2_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

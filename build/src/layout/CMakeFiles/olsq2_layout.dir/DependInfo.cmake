@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/certify.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/certify.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/certify.cpp.o.d"
+  "/root/repo/src/layout/export.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/export.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/export.cpp.o.d"
+  "/root/repo/src/layout/fdvar.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/fdvar.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/fdvar.cpp.o.d"
+  "/root/repo/src/layout/json.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/json.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/json.cpp.o.d"
+  "/root/repo/src/layout/metrics.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/metrics.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/metrics.cpp.o.d"
+  "/root/repo/src/layout/model.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/model.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/model.cpp.o.d"
+  "/root/repo/src/layout/olsq2.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/olsq2.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/olsq2.cpp.o.d"
+  "/root/repo/src/layout/portfolio.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/portfolio.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/portfolio.cpp.o.d"
+  "/root/repo/src/layout/tb.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/tb.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/tb.cpp.o.d"
+  "/root/repo/src/layout/verifier.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/verifier.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/verifier.cpp.o.d"
+  "/root/repo/src/layout/windowed.cpp" "src/layout/CMakeFiles/olsq2_layout.dir/windowed.cpp.o" "gcc" "src/layout/CMakeFiles/olsq2_layout.dir/windowed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/olsq2_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/olsq2_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/olsq2_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/olsq2_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

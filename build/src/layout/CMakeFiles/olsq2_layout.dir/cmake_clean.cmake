@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_layout.dir/certify.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/certify.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/export.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/export.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/fdvar.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/fdvar.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/json.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/json.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/metrics.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/metrics.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/model.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/model.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/olsq2.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/olsq2.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/portfolio.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/portfolio.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/tb.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/tb.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/verifier.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/verifier.cpp.o.d"
+  "CMakeFiles/olsq2_layout.dir/windowed.cpp.o"
+  "CMakeFiles/olsq2_layout.dir/windowed.cpp.o.d"
+  "libolsq2_layout.a"
+  "libolsq2_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_qasm.dir/lexer.cpp.o"
+  "CMakeFiles/olsq2_qasm.dir/lexer.cpp.o.d"
+  "CMakeFiles/olsq2_qasm.dir/parser.cpp.o"
+  "CMakeFiles/olsq2_qasm.dir/parser.cpp.o.d"
+  "CMakeFiles/olsq2_qasm.dir/writer.cpp.o"
+  "CMakeFiles/olsq2_qasm.dir/writer.cpp.o.d"
+  "libolsq2_qasm.a"
+  "libolsq2_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_sabre.dir/sabre.cpp.o"
+  "CMakeFiles/olsq2_sabre.dir/sabre.cpp.o.d"
+  "libolsq2_sabre.a"
+  "libolsq2_sabre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_sabre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/olsq2_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/olsq2_sat.dir/drat_check.cpp.o"
+  "CMakeFiles/olsq2_sat.dir/drat_check.cpp.o.d"
+  "CMakeFiles/olsq2_sat.dir/preprocess.cpp.o"
+  "CMakeFiles/olsq2_sat.dir/preprocess.cpp.o.d"
+  "CMakeFiles/olsq2_sat.dir/proof.cpp.o"
+  "CMakeFiles/olsq2_sat.dir/proof.cpp.o.d"
+  "CMakeFiles/olsq2_sat.dir/solver.cpp.o"
+  "CMakeFiles/olsq2_sat.dir/solver.cpp.o.d"
+  "libolsq2_sat.a"
+  "libolsq2_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

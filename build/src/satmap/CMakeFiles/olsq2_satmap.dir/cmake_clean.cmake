@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_satmap.dir/satmap.cpp.o"
+  "CMakeFiles/olsq2_satmap.dir/satmap.cpp.o.d"
+  "libolsq2_satmap.a"
+  "libolsq2_satmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_satmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

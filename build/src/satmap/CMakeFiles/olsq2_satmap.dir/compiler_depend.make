@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for olsq2_satmap.
+# This may be replaced when dependencies are built.

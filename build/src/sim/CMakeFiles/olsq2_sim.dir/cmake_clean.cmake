@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olsq2_sim.dir/statevector.cpp.o"
+  "CMakeFiles/olsq2_sim.dir/statevector.cpp.o.d"
+  "libolsq2_sim.a"
+  "libolsq2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olsq2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bengen_test.cpp" "tests/CMakeFiles/bengen_test.dir/bengen_test.cpp.o" "gcc" "tests/CMakeFiles/bengen_test.dir/bengen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bengen/CMakeFiles/olsq2_bengen.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/olsq2_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/olsq2_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

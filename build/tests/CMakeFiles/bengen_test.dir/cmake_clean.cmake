@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bengen_test.dir/bengen_test.cpp.o"
+  "CMakeFiles/bengen_test.dir/bengen_test.cpp.o.d"
+  "bengen_test"
+  "bengen_test.pdb"
+  "bengen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bengen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdvar_test.dir/fdvar_test.cpp.o"
+  "CMakeFiles/fdvar_test.dir/fdvar_test.cpp.o.d"
+  "fdvar_test"
+  "fdvar_test.pdb"
+  "fdvar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdvar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/portfolio_test.cpp" "tests/CMakeFiles/portfolio_test.dir/portfolio_test.cpp.o" "gcc" "tests/CMakeFiles/portfolio_test.dir/portfolio_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/olsq2_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/bengen/CMakeFiles/olsq2_bengen.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/olsq2_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/olsq2_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/olsq2_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/olsq2_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

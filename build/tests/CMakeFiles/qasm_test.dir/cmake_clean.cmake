@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_test.dir/qasm_test.cpp.o"
+  "CMakeFiles/qasm_test.dir/qasm_test.cpp.o.d"
+  "qasm_test"
+  "qasm_test.pdb"
+  "qasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

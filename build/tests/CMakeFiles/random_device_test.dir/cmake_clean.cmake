@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_device_test.dir/random_device_test.cpp.o"
+  "CMakeFiles/random_device_test.dir/random_device_test.cpp.o.d"
+  "random_device_test"
+  "random_device_test.pdb"
+  "random_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sabre_test.dir/sabre_test.cpp.o"
+  "CMakeFiles/sabre_test.dir/sabre_test.cpp.o.d"
+  "sabre_test"
+  "sabre_test.pdb"
+  "sabre_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sabre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

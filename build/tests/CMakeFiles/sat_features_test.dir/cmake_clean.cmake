@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_features_test.dir/sat_features_test.cpp.o"
+  "CMakeFiles/sat_features_test.dir/sat_features_test.cpp.o.d"
+  "sat_features_test"
+  "sat_features_test.pdb"
+  "sat_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satmap_test.dir/satmap_test.cpp.o"
+  "CMakeFiles/satmap_test.dir/satmap_test.cpp.o.d"
+  "satmap_test"
+  "satmap_test.pdb"
+  "satmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

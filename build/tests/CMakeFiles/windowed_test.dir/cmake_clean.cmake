@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windowed_test.dir/windowed_test.cpp.o"
+  "CMakeFiles/windowed_test.dir/windowed_test.cpp.o.d"
+  "windowed_test"
+  "windowed_test.pdb"
+  "windowed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

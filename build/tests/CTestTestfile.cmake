@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/encode_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/qasm_test[1]_include.cmake")
+include("/root/repo/build/tests/bengen_test[1]_include.cmake")
+include("/root/repo/build/tests/sabre_test[1]_include.cmake")
+include("/root/repo/build/tests/satmap_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_features_test[1]_include.cmake")
+include("/root/repo/build/tests/portfolio_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_export_test[1]_include.cmake")
+include("/root/repo/build/tests/astar_test[1]_include.cmake")
+include("/root/repo/build/tests/drat_test[1]_include.cmake")
+include("/root/repo/build/tests/certify_test[1]_include.cmake")
+include("/root/repo/build/tests/preprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/fdvar_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/random_device_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/windowed_test[1]_include.cmake")
