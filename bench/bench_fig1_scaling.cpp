@@ -43,6 +43,9 @@ int main() {
       for (const int side : {4, 5, 6}) {
         const device::Device dev = device::grid(side, side);
         const layout::Problem problem{&qaoa, &dev, 1};
+        const ScopedCaseTrace trace("fig1_" + config.label() + "_n" +
+                                    std::to_string(n) + "_grid" +
+                                    std::to_string(side));
         const layout::Result r =
             layout::solve_fixed(problem, t_ub, -1, config, budget);
         row.push_back(fmt_ms(r.wall_ms, !r.solved));

@@ -64,6 +64,8 @@ int main() {
   bool all_valid = true;
   for (const Row& row : rows) {
     const layout::Problem problem{&row.circ, row.dev, row.swap_duration};
+    const ScopedCaseTrace trace("table4_" + row.dev->name() + "_" +
+                                row.circ.label());
     const sabre::SabreResult heuristic = sabre::route(problem);
 
     satmap::SatmapOptions satmap_options;

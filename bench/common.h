@@ -4,8 +4,12 @@
 // laptop scale: same workload families and sweep axes, smaller instances
 // and time budgets (see EXPERIMENTS.md). Budgets can be scaled with the
 // OLSQ2_BENCH_BUDGET_MS environment variable.
+// Per-case profiling: set OLSQ2_TRACE_DIR=<dir> to get one Chrome trace
+// file per bench case (see ScopedCaseTrace), so regenerating a paper table
+// doubles as a profiling run.
 #pragma once
 
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <iomanip>
@@ -13,6 +17,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace olsq2::bench {
 
@@ -65,5 +71,34 @@ inline std::string fmt_ratio(double r) {
   out << std::fixed << std::setprecision(2) << r << "x";
   return out.str();
 }
+
+/// When OLSQ2_TRACE_DIR is set, captures everything the enclosed bench case
+/// does into <dir>/<case>.trace.json (Chrome trace_event format). Off (and
+/// free) otherwise. Case names are sanitized to filesystem-safe characters.
+class ScopedCaseTrace {
+ public:
+  explicit ScopedCaseTrace(const std::string& case_name) {
+    const char* dir = std::getenv("OLSQ2_TRACE_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    std::string file;
+    for (const char c : case_name) {
+      file += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '.' || c == '_')
+                  ? c
+                  : '_';
+    }
+    active_ = true;
+    obs::Trace::instance().begin_capture(std::string(dir) + "/" + file +
+                                         ".trace.json");
+  }
+  ~ScopedCaseTrace() {
+    if (active_) obs::Trace::instance().end_capture();
+  }
+  ScopedCaseTrace(const ScopedCaseTrace&) = delete;
+  ScopedCaseTrace& operator=(const ScopedCaseTrace&) = delete;
+
+ private:
+  bool active_ = false;
+};
 
 }  // namespace olsq2::bench

@@ -81,9 +81,14 @@ int main(int argc, char** argv) {
           static_cast<std::int64_t>(budget_ms)));
     }
     const LBool status = solver.solve();
-    std::cerr << "c conflicts " << solver.stats().conflicts << " decisions "
-              << solver.stats().decisions << " propagations "
-              << solver.stats().propagations << "\n";
+    const Stats& stats = solver.stats();
+    std::cerr << "c conflicts " << stats.conflicts << " decisions "
+              << stats.decisions << " propagations " << stats.propagations
+              << "\n";
+    std::cerr << "c restarts " << stats.restarts << " learnt "
+              << stats.learnt_clauses << " removed " << stats.removed_clauses
+              << " binary " << stats.binary_clauses << " max-level "
+              << stats.max_decision_level << "\n";
     if (status == LBool::kTrue) {
       std::vector<LBool> model(problem.num_vars);
       for (int v = 0; v < problem.num_vars; ++v) model[v] = solver.model_value(v);

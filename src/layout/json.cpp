@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/json_escape.h"
+
 namespace olsq2::layout {
 
 namespace {
@@ -20,8 +22,8 @@ void append_int_array(std::ostringstream& out, const std::vector<int>& v) {
 std::string result_to_json(const Problem& problem, const Result& result) {
   std::ostringstream out;
   out << "{";
-  out << "\"circuit\":\"" << problem.circuit->label() << "\",";
-  out << "\"device\":\"" << problem.device->name() << "\",";
+  out << "\"circuit\":\"" << obs::json_escape(problem.circuit->label()) << "\",";
+  out << "\"device\":\"" << obs::json_escape(problem.device->name()) << "\",";
   out << "\"swap_duration\":" << problem.swap_duration << ",";
   out << "\"solved\":" << (result.solved ? "true" : "false") << ",";
   out << "\"transition_based\":" << (result.transition_based ? "true" : "false")
@@ -57,7 +59,22 @@ std::string result_to_json(const Problem& problem, const Result& result) {
   out << "\"search\":{\"sat_calls\":" << result.sat_calls
       << ",\"conflicts\":" << result.conflicts
       << ",\"wall_ms\":" << result.wall_ms
-      << ",\"hit_budget\":" << (result.hit_budget ? "true" : "false") << "}";
+      << ",\"hit_budget\":" << (result.hit_budget ? "true" : "false")
+      << ",\"calls\":[";
+  for (std::size_t i = 0; i < result.calls.size(); ++i) {
+    if (i) out << ",";
+    const SolveCall& call = result.calls[i];
+    out << "{\"depth_bound\":" << call.depth_bound
+        << ",\"swap_bound\":" << call.swap_bound << ",\"status\":\""
+        << (call.status == 'S'   ? "sat"
+            : call.status == 'U' ? "unsat"
+                                 : "unknown")
+        << "\",\"conflicts\":" << call.conflicts
+        << ",\"propagations\":" << call.propagations
+        << ",\"decisions\":" << call.decisions
+        << ",\"wall_ms\":" << call.wall_ms << "}";
+  }
+  out << "]}";
   out << "}";
   return out.str();
 }

@@ -18,8 +18,15 @@ namespace olsq2::layout {
 ///   "swaps": [{"edge": [p0, p1], "end_time": t}, ..],
 ///   "pareto": [[depth, swaps], ..],
 ///   "search": {"sat_calls": n, "conflicts": n, "wall_ms": x,
-///              "hit_budget": false}
+///              "hit_budget": false,
+///              "calls": [{"depth_bound": d, "swap_bound": s,
+///                         "status": "sat"|"unsat"|"unknown",
+///                         "conflicts": n, "propagations": n,
+///                         "decisions": n, "wall_ms": x}, ..]}
 /// }
+/// "calls" holds per-call telemetry for every incremental SAT call in
+/// order (for TB results "depth_bound" is the block bound; -1 = bound not
+/// assumed on that call). String fields are JSON-escaped.
 std::string result_to_json(const Problem& problem, const Result& result);
 
 }  // namespace olsq2::layout

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "encode/cardinality.h"
+#include "obs/obs.h"
 
 namespace olsq2::layout {
 
@@ -38,6 +39,9 @@ Model::Model(const Problem& problem, int t_ub, const EncodingConfig& config,
     throw std::invalid_argument("layout: depth horizon below the dependency "
                                 "lower bound T_LB");
   }
+  // Encoding is timed separately from solving: on large horizons CNF
+  // generation is its own hot phase.
+  obs::Span span("olsq2.encode");
   build_variables();
   build_injectivity();
   build_dependencies();
@@ -56,6 +60,11 @@ Model::Model(const Problem& problem, int t_ub, const EncodingConfig& config,
   }
   for (int g = 0; g < circ_.num_gates(); ++g) {
     time_[g].suggest(solver_, deps_.chain_depth(g) - 1);
+  }
+  if (span.live()) {
+    span.arg("t_ub", t_ub_);
+    span.arg("vars", solver_.num_vars());
+    span.arg("clauses", static_cast<std::int64_t>(solver_.num_clauses()));
   }
 }
 
@@ -347,6 +356,7 @@ void Model::assert_swap_bound_hard(int s_b, CardEncoding encoding) {
 }
 
 Result Model::extract() const {
+  obs::Span span("olsq2.decode");
   Result r;
   r.solved = true;
   r.gate_time.resize(circ_.num_gates());

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/obs.h"
+
 namespace olsq2::layout {
 
 namespace {
@@ -41,13 +43,43 @@ class BudgetClock {
   double budget_ms_;
 };
 
-/// One SAT call under assumptions, with bookkeeping.
+/// One SAT call under assumptions, with bookkeeping: a trace span plus a
+/// SolveCall telemetry record annotated with the assumed bounds and the
+/// solver-stats delta. `depth_bound`/`swap_bound` of -1 mean "not assumed".
 sat::LBool solve_step(Model& model, std::vector<Lit> assumptions,
-                      const BudgetClock& clock, Result& diag) {
+                      int depth_bound, int swap_bound, const BudgetClock& clock,
+                      Result& diag) {
+  obs::Span span("olsq2.solve");
+  const double start_ms = clock.elapsed_ms();
+  const sat::Stats before = model.solver().stats();
   clock.arm(model.solver());
   const sat::LBool status = model.solver().solve(assumptions);
+  const sat::Stats delta = model.solver().stats() - before;
+
+  SolveCall call;
+  call.depth_bound = depth_bound;
+  call.swap_bound = swap_bound;
+  call.status = status == sat::LBool::kTrue    ? 'S'
+                : status == sat::LBool::kFalse ? 'U'
+                                               : '?';
+  call.conflicts = delta.conflicts;
+  call.propagations = delta.propagations;
+  call.decisions = delta.decisions;
+  call.wall_ms = clock.elapsed_ms() - start_ms;
+  if (span.live()) {
+    span.arg("depth_bound", depth_bound);
+    span.arg("swap_bound", swap_bound);
+    span.arg("result", status == sat::LBool::kTrue    ? "sat"
+                       : status == sat::LBool::kFalse ? "unsat"
+                                                      : "unknown");
+    span.arg("conflicts", delta.conflicts);
+    span.arg("propagations", delta.propagations);
+    span.arg("wall_ms", call.wall_ms);
+  }
+
   diag.sat_calls++;
-  diag.conflicts = model.solver().stats().conflicts;
+  diag.conflicts += delta.conflicts;
+  diag.calls.push_back(call);
   if (status == sat::LBool::kUndef) diag.hit_budget = true;
   return status;
 }
@@ -68,6 +100,7 @@ DepthPhaseOutcome run_depth_phase(const Problem& problem,
                                   const EncodingConfig& config,
                                   const OptimizerOptions& options,
                                   const BudgetClock& clock, Result& diag) {
+  obs::Span phase_span("olsq2.depth_phase");
   const circuit::DependencyGraph deps(*problem.circuit);
   const int t_lb = deps.longest_chain();
   int t_ub = deps.default_upper_bound();
@@ -82,7 +115,7 @@ DepthPhaseOutcome run_depth_phase(const Problem& problem,
   while (true) {
     if (clock.expired()) return out;
     const sat::LBool status =
-        solve_step(*model, {model->depth_bound(t_b)}, clock, diag);
+        solve_step(*model, {model->depth_bound(t_b)}, t_b, -1, clock, diag);
     if (status == sat::LBool::kUndef) return out;
     if (status == sat::LBool::kTrue) break;
     if (t_b >= t_ub) {
@@ -113,7 +146,7 @@ DepthPhaseOutcome run_depth_phase(const Problem& problem,
       model->solver().set_external_interrupt(options.cancel);
     }
     const sat::LBool status =
-        solve_step(*model, {model->depth_bound(t_b)}, clock, diag);
+        solve_step(*model, {model->depth_bound(t_b)}, t_b, -1, clock, diag);
     if (status != sat::LBool::kTrue) break;
     out.best = model->extract();
     t_b = out.best.depth - 1;
@@ -123,12 +156,12 @@ DepthPhaseOutcome run_depth_phase(const Problem& problem,
   return out;
 }
 
-void merge_diagnostics(Result& result, const Result& diag,
-                       const BudgetClock& clock) {
+void merge_diagnostics(Result& result, Result& diag, const BudgetClock& clock) {
   result.sat_calls = diag.sat_calls;
   result.conflicts = diag.conflicts;
   result.hit_budget = diag.hit_budget || clock.expired();
   result.wall_ms = clock.elapsed_ms();
+  result.calls = std::move(diag.calls);
 }
 
 }  // namespace
@@ -136,6 +169,7 @@ void merge_diagnostics(Result& result, const Result& diag,
 Result synthesize_depth_optimal(const Problem& problem,
                                 const EncodingConfig& config,
                                 const OptimizerOptions& options) {
+  obs::Span span("olsq2.depth_optimal");
   const BudgetClock clock(options.time_budget_ms);
   Result diag;
   DepthPhaseOutcome outcome =
@@ -148,6 +182,7 @@ Result synthesize_depth_optimal(const Problem& problem,
 Result synthesize_swap_optimal(const Problem& problem,
                                const EncodingConfig& config,
                                const OptimizerOptions& options) {
+  obs::Span span("olsq2.swap_optimal");
   const BudgetClock clock(options.time_budget_ms);
   Result diag;
   DepthPhaseOutcome outcome =
@@ -168,13 +203,16 @@ Result synthesize_swap_optimal(const Problem& problem,
   while (true) {
     // Iterative descent on the SWAP bound at this depth (paper §III-B2):
     // start from the incumbent solution's count and tighten by one.
+    obs::Span sweep_span("olsq2.swap_sweep");
+    sweep_span.arg("depth_bound", depth_bound);
     int incumbent = best.swap_count;
     while (incumbent > 0) {
       if (clock.expired()) break;
       const std::vector<Lit> assumptions = {
           model->depth_bound(depth_bound),
           model->swap_bound(incumbent - 1)};
-      const sat::LBool status = solve_step(*model, assumptions, clock, diag);
+      const sat::LBool status = solve_step(*model, assumptions, depth_bound,
+                                           incumbent - 1, clock, diag);
       if (status != sat::LBool::kTrue) break;
       Result candidate = model->extract();
       if (candidate.swap_count < best.swap_count ||
@@ -212,13 +250,16 @@ Result synthesize_swap_optimal(const Problem& problem,
 
 Result solve_fixed(const Problem& problem, int t_ub, int swap_bound,
                    const EncodingConfig& config, double time_budget_ms) {
+  obs::Span span("olsq2.solve_fixed");
+  span.arg("t_ub", t_ub);
   const BudgetClock clock(time_budget_ms);
   Result diag;
   Model model(problem, t_ub, config);
   if (swap_bound >= 0) {
     model.assert_swap_bound_hard(swap_bound, config.cardinality);
   }
-  const sat::LBool status = solve_step(model, {}, clock, diag);
+  const sat::LBool status =
+      solve_step(model, {}, /*depth_bound=*/-1, swap_bound, clock, diag);
   Result result;
   if (status == sat::LBool::kTrue) result = model.extract();
   merge_diagnostics(result, diag, clock);

@@ -6,6 +6,7 @@
 
 #include "layout/olsq2.h"
 #include "layout/tb.h"
+#include "obs/obs.h"
 
 namespace olsq2::layout {
 
@@ -51,11 +52,18 @@ PortfolioResult synthesize_portfolio(const Problem& problem,
   auto worker = [&](std::size_t index) {
     PortfolioEntry& entry = entries[index];
     entry.options.cancel = &cancel;
+    // Each strategy runs on its own thread = its own track in the exported
+    // timeline; name the track after the configuration so races read well.
+    obs::Trace::instance().set_thread_name("portfolio:" + entry.name);
+    obs::Span span("portfolio.worker");
+    span.arg("strategy", entry.name);
     Result r = objective == Objective::kDepth
                    ? synthesize_depth_optimal(problem, entry.config,
                                               entry.options)
                    : synthesize_swap_optimal(problem, entry.config,
                                              entry.options);
+    span.arg("solved", r.solved);
+    span.arg("hit_budget", r.hit_budget);
     std::lock_guard<std::mutex> lock(mutex);
     result.all[index] = std::move(r);
     const Result& mine = result.all[index];

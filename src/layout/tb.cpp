@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "encode/cardinality.h"
+#include "obs/obs.h"
 
 namespace olsq2::layout {
 
@@ -25,11 +26,17 @@ TbModel::TbModel(const Problem& problem, int max_blocks,
                                 std::to_string(dev_.num_qubits()) + ")");
   }
   assert(max_blocks_ >= 1);
+  obs::Span span("tb.encode");
   build_variables();
   build_injectivity();
   build_dependencies();
   build_adjacency();
   build_transitions();
+  if (span.live()) {
+    span.arg("max_blocks", max_blocks_);
+    span.arg("vars", solver_.num_vars());
+    span.arg("clauses", static_cast<std::int64_t>(solver_.num_clauses()));
+  }
 
   // Domain-guided phase hints: identity mapping, gates in block 0.
   for (int q = 0; q < circ_.num_qubits(); ++q) {
@@ -249,6 +256,7 @@ void TbModel::assert_swap_bound_hard(int s_b, CardEncoding encoding) {
 }
 
 Result TbModel::extract() const {
+  obs::Span span("tb.decode");
   Result r;
   r.solved = true;
   r.transition_based = true;
@@ -292,7 +300,13 @@ struct TbSearch {
   }
   bool expired() const { return budget_ms > 0 && elapsed_ms() >= budget_ms; }
 
-  sat::LBool solve(TbModel& model, std::vector<Lit> assumptions) {
+  /// One SAT call: trace span + per-call telemetry. `block_bound` and
+  /// `swap_bound` of -1 mean "not assumed".
+  sat::LBool solve(TbModel& model, std::vector<Lit> assumptions,
+                   int block_bound, int swap_bound) {
+    obs::Span span("tb.solve");
+    const double start_ms = elapsed_ms();
+    const sat::Stats before = model.solver().stats();
     model.solver().clear_budgets();
     if (budget_ms > 0) {
       const double remaining = std::max(1.0, budget_ms - elapsed_ms());
@@ -300,8 +314,32 @@ struct TbSearch {
           std::chrono::milliseconds(static_cast<std::int64_t>(remaining)));
     }
     const sat::LBool status = model.solver().solve(assumptions);
+    const sat::Stats delta = model.solver().stats() - before;
+
+    SolveCall call;
+    call.depth_bound = block_bound;
+    call.swap_bound = swap_bound;
+    call.status = status == sat::LBool::kTrue    ? 'S'
+                  : status == sat::LBool::kFalse ? 'U'
+                                                 : '?';
+    call.conflicts = delta.conflicts;
+    call.propagations = delta.propagations;
+    call.decisions = delta.decisions;
+    call.wall_ms = elapsed_ms() - start_ms;
+    if (span.live()) {
+      span.arg("block_bound", block_bound);
+      span.arg("swap_bound", swap_bound);
+      span.arg("result", status == sat::LBool::kTrue    ? "sat"
+                         : status == sat::LBool::kFalse ? "unsat"
+                                                        : "unknown");
+      span.arg("conflicts", delta.conflicts);
+      span.arg("propagations", delta.propagations);
+      span.arg("wall_ms", call.wall_ms);
+    }
+
     diag.sat_calls++;
-    diag.conflicts += model.solver().stats().conflicts;
+    diag.conflicts += delta.conflicts;
+    diag.calls.push_back(call);
     if (status == sat::LBool::kUndef) diag.hit_budget = true;
     return status;
   }
@@ -330,7 +368,7 @@ TbBlockPhase tb_block_phase(const Problem& problem,
       model->solver().set_external_interrupt(search.cancel);
     }
     const sat::LBool status =
-        search.solve(*model, {model->block_bound(blocks)});
+        search.solve(*model, {model->block_bound(blocks)}, blocks, -1);
     if (status == sat::LBool::kUndef) return out;
     if (status == sat::LBool::kTrue) {
       out.best = model->extract();
@@ -348,6 +386,7 @@ TbBlockPhase tb_block_phase(const Problem& problem,
 Result tb_synthesize_block_optimal(const Problem& problem,
                                    const EncodingConfig& config,
                                    const OptimizerOptions& options) {
+  obs::Span span("tb.block_optimal");
   TbSearch search;
   search.budget_ms = options.time_budget_ms;
   search.restart_policy = options.restart_policy;
@@ -358,12 +397,14 @@ Result tb_synthesize_block_optimal(const Problem& problem,
   result.conflicts = search.diag.conflicts;
   result.hit_budget = search.diag.hit_budget || search.expired();
   result.wall_ms = search.elapsed_ms();
+  result.calls = std::move(search.diag.calls);
   return result;
 }
 
 Result tb_synthesize_swap_optimal(const Problem& problem,
                                   const EncodingConfig& config,
                                   const OptimizerOptions& options) {
+  obs::Span span("tb.swap_optimal");
   TbSearch search;
   search.budget_ms = options.time_budget_ms;
   search.restart_policy = options.restart_policy;
@@ -372,8 +413,10 @@ Result tb_synthesize_swap_optimal(const Problem& problem,
   if (!phase.best.solved) {
     Result result = phase.best;
     result.sat_calls = search.diag.sat_calls;
+    result.conflicts = search.diag.conflicts;
     result.hit_budget = search.diag.hit_budget || search.expired();
     result.wall_ms = search.elapsed_ms();
+    result.calls = std::move(search.diag.calls);
     return result;
   }
 
@@ -386,12 +429,14 @@ Result tb_synthesize_swap_optimal(const Problem& problem,
 
   while (true) {
     // Iterative descent at this block count.
+    obs::Span sweep_span("tb.swap_sweep");
+    sweep_span.arg("block_bound", blocks);
     int incumbent = best.swap_count;
     while (incumbent > 0) {
       if (search.expired()) break;
       const sat::LBool status = search.solve(
-          *model,
-          {model->block_bound(blocks), model->swap_bound(incumbent - 1)});
+          *model, {model->block_bound(blocks), model->swap_bound(incumbent - 1)},
+          blocks, incumbent - 1);
       if (status != sat::LBool::kTrue) break;
       Result candidate = model->extract();
       if (candidate.swap_count < best.swap_count ||
@@ -423,6 +468,7 @@ Result tb_synthesize_swap_optimal(const Problem& problem,
   best.conflicts = search.diag.conflicts;
   best.hit_budget = search.diag.hit_budget;
   best.wall_ms = search.elapsed_ms();
+  best.calls = std::move(search.diag.calls);
   return best;
 }
 
@@ -434,13 +480,15 @@ Result tb_solve_fixed(const Problem& problem, int blocks, int swap_bound,
   if (swap_bound >= 0) {
     model.assert_swap_bound_hard(swap_bound, config.cardinality);
   }
-  const sat::LBool status = search.solve(model, {});
+  const sat::LBool status =
+      search.solve(model, {}, /*block_bound=*/-1, swap_bound);
   Result result;
   if (status == sat::LBool::kTrue) result = model.extract();
   result.sat_calls = search.diag.sat_calls;
   result.conflicts = search.diag.conflicts;
   result.hit_budget = search.diag.hit_budget;
   result.wall_ms = search.elapsed_ms();
+  result.calls = std::move(search.diag.calls);
   return result;
 }
 

@@ -29,6 +29,20 @@ struct SwapOp {
   int end_time = -1;
 };
 
+/// Telemetry for one incremental SAT call inside an optimizer loop: which
+/// bounds were assumed, what came back, and what it cost. The sequence of
+/// these records is the textual form of the Pareto-sweep timeline the
+/// tracing layer renders (obs/, OLSQ2_TRACE).
+struct SolveCall {
+  int depth_bound = -1;  // assumed depth bound (block bound for TB); -1 none
+  int swap_bound = -1;   // assumed SWAP bound; -1 none
+  char status = '?';     // 'S' = SAT, 'U' = UNSAT, '?' = budget expired
+  std::uint64_t conflicts = 0;     // conflicts delta for this call
+  std::uint64_t propagations = 0;  // propagations delta for this call
+  std::uint64_t decisions = 0;     // decisions delta for this call
+  double wall_ms = 0.0;
+};
+
 /// Synthesis output: qubit mapping per time step, gate schedule and SWAPs
 /// (paper §II-A). For transition-based results, "time" means block index
 /// and `mapping` has one entry per block.
@@ -46,6 +60,8 @@ struct Result {
   int sat_calls = 0;
   std::uint64_t conflicts = 0;
   bool hit_budget = false;
+  /// Per-call telemetry, one entry per incremental SAT call in order.
+  std::vector<SolveCall> calls;
   /// (depth, swap) points discovered by the 2-D Pareto sweep (§III-B2).
   std::vector<std::pair<int, int>> pareto;
 };

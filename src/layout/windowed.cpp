@@ -6,6 +6,7 @@
 
 #include "circuit/dependency.h"
 #include "layout/tb.h"
+#include "obs/obs.h"
 
 namespace olsq2::layout {
 
@@ -18,6 +19,7 @@ using Clock = std::chrono::steady_clock;
 WindowedResult synthesize_windowed_swap(const Problem& problem,
                                         const WindowedOptions& options,
                                         const EncodingConfig& config) {
+  obs::Span top_span("windowed.swap");
   const Clock::time_point start = Clock::now();
   auto elapsed_ms = [&] {
     return std::chrono::duration<double, std::milli>(Clock::now() - start)
@@ -59,8 +61,14 @@ WindowedResult synthesize_windowed_swap(const Problem& problem,
     return result;
   }
 
+  top_span.arg("windows", result.window_count);
+
   std::vector<int> mapping;  // exit mapping of the previous window
+  int window_index = 0;
   for (const circuit::Circuit& window : windows) {
+    obs::Span window_span("windowed.window");
+    window_span.arg("index", window_index++);
+    window_span.arg("gates", window.num_gates());
     if (expired()) {
       result.hit_budget = true;
       result.wall_ms = elapsed_ms();
@@ -89,8 +97,16 @@ WindowedResult synthesize_windowed_swap(const Problem& problem,
             static_cast<std::int64_t>(
                 std::max(1.0, options.time_budget_ms - elapsed_ms()))));
       }
-      const sat::LBool status =
-          model->solver().solve(std::vector<Lit>{model->block_bound(blocks)});
+      sat::LBool status;
+      {
+        obs::Span span("windowed.solve");
+        span.arg("block_bound", blocks);
+        status =
+            model->solver().solve(std::vector<Lit>{model->block_bound(blocks)});
+        span.arg("result", status == sat::LBool::kTrue    ? "sat"
+                           : status == sat::LBool::kFalse ? "unsat"
+                                                          : "unknown");
+      }
       if (status == sat::LBool::kUndef) {
         result.hit_budget = true;
         result.wall_ms = elapsed_ms();
@@ -106,8 +122,12 @@ WindowedResult synthesize_windowed_swap(const Problem& problem,
     // Swap descent at this block count.
     int incumbent = best.swap_count;
     while (incumbent > 0 && !expired()) {
+      obs::Span span("windowed.solve");
+      span.arg("block_bound", blocks);
+      span.arg("swap_bound", incumbent - 1);
       const sat::LBool status = model->solver().solve(std::vector<Lit>{
           model->block_bound(blocks), model->swap_bound(incumbent - 1)});
+      span.arg("result", status == sat::LBool::kTrue ? "sat" : "non-sat");
       if (status != sat::LBool::kTrue) break;
       const Result candidate = model->extract();
       if (candidate.swap_count < best.swap_count) best = candidate;

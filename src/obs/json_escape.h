@@ -1,0 +1,15 @@
+// JSON string escaping, shared by every JSON emitter in the repo (result
+// serialization in layout/json.cpp, the Chrome trace exporter in obs/).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace olsq2::obs {
+
+/// Escape `s` for embedding inside a JSON string literal: backslash, double
+/// quote, and control characters (U+0000..U+001F) per RFC 8259. Does not add
+/// the surrounding quotes.
+std::string json_escape(std::string_view s);
+
+}  // namespace olsq2::obs

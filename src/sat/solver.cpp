@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
+#include "obs/obs.h"
 #include "sat/luby.h"
 
 namespace olsq2::sat {
@@ -71,6 +73,7 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return ok_;
   }
 
+  if (lits.size() == 2) stats_.binary_clauses++;
   auto clause = std::make_unique<ClauseData>();
   clause->lits = std::move(lits);
   attach(clause.get());
@@ -371,7 +374,16 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
   std::int64_t conflict_count = 0;
   std::vector<Lit> learnt;
   while (true) {
-    ClauseData* conflict = propagate();
+    ClauseData* conflict;
+    if (trace_live_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      conflict = propagate();
+      propagate_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    } else {
+      conflict = propagate();
+    }
     if (conflict != nullptr) {
       stats_.conflicts++;
       conflict_count++;
@@ -412,10 +424,23 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
         enqueue(learnt[0], raw);
         stats_.learnt_clauses++;
         stats_.learnt_literals += learnt.size();
+        if (learnt.size() == 2) stats_.binary_clauses++;
       }
       var_decay();
       clause_decay();
-      if ((conflict_count & 0xFF) == 0 && budget_exhausted()) return LBool::kUndef;
+      if ((conflict_count & 0xFF) == 0) {
+        if (progress_cb_ && stats_.conflicts >= next_progress_conflicts_) {
+          progress_cb_(stats_);
+          next_progress_conflicts_ = stats_.conflicts + progress_interval_;
+        }
+        if (trace_live_) {
+          obs::counter("sat.conflicts", static_cast<double>(stats_.conflicts));
+          obs::counter("sat.learnts", static_cast<double>(learnts_.size()));
+          obs::counter("sat.propagations",
+                       static_cast<double>(stats_.propagations));
+        }
+        if (budget_exhausted()) return LBool::kUndef;
+      }
     } else {
       const bool restart_due =
           effective_policy_ == RestartPolicy::kGlucose
@@ -423,6 +448,7 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
               : conflict_count >= conflicts_before_restart;
       if (restart_due) {
         stats_.restarts++;
+        if (trace_live_) obs::instant("sat.restart");
         reset_recent_lbds();
         cancel_until(0);
         return LBool::kUndef;
@@ -466,6 +492,8 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
 }
 
 void Solver::reduce_db() {
+  obs::Span span("sat.reduce_db");
+  const std::size_t before = learnts_.size();
   // Keep reasons, binaries, and glue clauses (LBD <= 2); of the rest, delete
   // the less active half.
   auto locked = [this](const ClauseData* c) {
@@ -492,6 +520,10 @@ void Solver::reduce_db() {
   learnts_ = std::move(kept);
   stats_.removed_clauses += removed;
   max_learnts_ *= learnt_size_inc_;
+  if (span.live()) {
+    span.arg("learnts_before", static_cast<std::uint64_t>(before));
+    span.arg("removed", static_cast<std::uint64_t>(removed));
+  }
 }
 
 std::int64_t Solver::num_learnts() const {
@@ -500,8 +532,14 @@ std::int64_t Solver::num_learnts() const {
 
 LBool Solver::solve(std::span<const Lit> assumptions) {
   stats_.solve_calls++;
+  stats_.assumption_lits += assumptions.size();
   conflict_core_.clear();
   if (!ok_) return LBool::kFalse;
+  trace_live_ = obs::Trace::instance().enabled();
+  propagate_ns_ = 0;
+  next_progress_conflicts_ = stats_.conflicts + progress_interval_;
+  obs::Span span("sat.solve");
+  const Stats before = stats_;
   cancel_until(0);
   assumptions_.assign(assumptions.begin(), assumptions.end());
 
@@ -536,6 +574,21 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   }
   cancel_until(0);
   assumptions_.clear();
+  if (span.live()) {
+    const Stats delta = stats_ - before;
+    span.arg("result", status == LBool::kTrue    ? "sat"
+                       : status == LBool::kFalse ? "unsat"
+                                                 : "unknown");
+    span.arg("assumptions", static_cast<std::uint64_t>(assumptions.size()));
+    span.arg("vars", num_vars());
+    span.arg("clauses", static_cast<std::int64_t>(num_original_clauses_));
+    span.arg("conflicts", delta.conflicts);
+    span.arg("decisions", delta.decisions);
+    span.arg("propagations", delta.propagations);
+    span.arg("restarts", delta.restarts);
+    span.arg("propagate_ms", static_cast<double>(propagate_ns_) / 1e6);
+  }
+  trace_live_ = false;
   return status;
 }
 

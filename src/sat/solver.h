@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -100,6 +101,19 @@ class Solver {
   std::int64_t num_clauses() const { return num_original_clauses_; }
   std::int64_t num_learnts() const;
 
+  /// Periodic progress reporting: `callback` is invoked from inside solve()
+  /// roughly every `interval_conflicts` conflicts with a Stats snapshot.
+  /// Long bound-search solves are impossible to tune blind; this is the
+  /// hook progress bars, watchdogs, and the tracing layer build on. Pass an
+  /// empty function to detach. The callback runs on the solving thread and
+  /// must not call back into the solver.
+  using ProgressCallback = std::function<void(const Stats&)>;
+  void set_progress_callback(ProgressCallback callback,
+                             std::uint64_t interval_conflicts = 4096) {
+    progress_cb_ = std::move(callback);
+    progress_interval_ = interval_conflicts == 0 ? 1 : interval_conflicts;
+  }
+
   /// Record every clause passed to add_clause (pre-normalization) for later
   /// DIMACS export. Must be enabled before the clauses of interest arrive.
   void set_clause_log(bool enabled) { clause_log_enabled_ = enabled; }
@@ -137,7 +151,12 @@ class Solver {
   bool literal_redundant(Lit l);
   void cancel_until(int level);
   Lit pick_branch_lit();
-  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void new_decision_level() {
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    if (static_cast<std::uint64_t>(decision_level()) > stats_.max_decision_level) {
+      stats_.max_decision_level = static_cast<std::uint64_t>(decision_level());
+    }
+  }
   LBool search(std::int64_t conflicts_before_restart);
   void reduce_db();
   void var_bump(Var v);
@@ -224,6 +243,14 @@ class Solver {
   std::vector<Clause> clause_log_;
   std::vector<Lit> conflict_core_;
   Proof* proof_ = nullptr;
+
+  // Progress reporting + tracing. trace_live_ caches the tracer's enabled
+  // flag at solve() entry so the conflict loop never touches an atomic.
+  ProgressCallback progress_cb_;
+  std::uint64_t progress_interval_ = 4096;
+  std::uint64_t next_progress_conflicts_ = 0;
+  bool trace_live_ = false;
+  std::int64_t propagate_ns_ = 0;  // time inside propagate() while tracing
 
   Stats stats_;
 };

@@ -1,4 +1,8 @@
 // Aggregate counters describing one solver's lifetime of work.
+//
+// Counters are monotone except max_decision_level (a high-water mark).
+// operator- yields the per-phase delta between two snapshots, which is what
+// the optimizer loops attach to each incremental solve call's trace span.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +19,29 @@ struct Stats {
   std::uint64_t removed_clauses = 0;   // deleted by DB reduction
   std::uint64_t minimized_literals = 0;  // dropped by conflict-clause minimization
   std::uint64_t solve_calls = 0;
+  std::uint64_t binary_clauses = 0;    // size-2 clauses added (original + learnt)
+  std::uint64_t max_decision_level = 0;  // high-water mark, not monotone-delta
+  std::uint64_t assumption_lits = 0;   // assumption literals across solve calls
+
+  /// Delta between two snapshots: `after - before` subtracts every monotone
+  /// counter member-wise; max_decision_level keeps the later (lhs) value
+  /// since a high-water mark has no meaningful difference.
+  Stats operator-(const Stats& rhs) const {
+    Stats d;
+    d.decisions = decisions - rhs.decisions;
+    d.propagations = propagations - rhs.propagations;
+    d.conflicts = conflicts - rhs.conflicts;
+    d.restarts = restarts - rhs.restarts;
+    d.learnt_clauses = learnt_clauses - rhs.learnt_clauses;
+    d.learnt_literals = learnt_literals - rhs.learnt_literals;
+    d.removed_clauses = removed_clauses - rhs.removed_clauses;
+    d.minimized_literals = minimized_literals - rhs.minimized_literals;
+    d.solve_calls = solve_calls - rhs.solve_calls;
+    d.binary_clauses = binary_clauses - rhs.binary_clauses;
+    d.max_decision_level = max_decision_level;
+    d.assumption_lits = assumption_lits - rhs.assumption_lits;
+    return d;
+  }
 };
 
 }  // namespace olsq2::sat

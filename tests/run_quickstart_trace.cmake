@@ -1,0 +1,31 @@
+# ctest driver for the end-to-end tracing check: run examples/quickstart
+# with OLSQ2_TRACE pointed at a scratch file, then validate the emitted
+# Chrome trace with trace_validate. Invoked as
+#   cmake -DQUICKSTART=<exe> -DVALIDATOR=<exe> -DTRACE_FILE=<path> -P <this>
+foreach(var QUICKSTART VALIDATOR TRACE_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_quickstart_trace.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE "${TRACE_FILE}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env "OLSQ2_TRACE=${TRACE_FILE}"
+          "${QUICKSTART}"
+  RESULT_VARIABLE quickstart_rc
+  OUTPUT_QUIET)
+if(NOT quickstart_rc EQUAL 0)
+  message(FATAL_ERROR "quickstart exited with ${quickstart_rc}")
+endif()
+
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR "OLSQ2_TRACE did not produce ${TRACE_FILE}")
+endif()
+
+execute_process(
+  COMMAND "${VALIDATOR}" --require-solve-spans "${TRACE_FILE}"
+  RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "trace validation failed with ${validate_rc}")
+endif()

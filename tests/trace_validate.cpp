@@ -1,0 +1,66 @@
+// Validates a Chrome trace_event file emitted via OLSQ2_TRACE: the whole
+// file must parse as JSON with the expected top-level shape, and (with
+// --require-solve-spans) must contain at least one optimizer solve span
+// annotated with its bounds and conflict delta. Used by the
+// quickstart_trace ctest case; also handy standalone:
+//
+//   $ OLSQ2_TRACE=out.json ./quickstart && ./trace_validate out.json
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/trace_check.h"
+
+int main(int argc, char** argv) {
+  using namespace olsq2::obs;
+  bool require_solve_spans = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-solve-spans") == 0) {
+      require_solve_spans = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::cerr << "usage: " << argv[0]
+              << " [--require-solve-spans] <trace.json>\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_validate: cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const CheckResult check = validate_chrome_trace(text);
+  if (!check.ok) {
+    std::cerr << "trace_validate: " << path << ": " << check.error << "\n";
+    return 1;
+  }
+  if (check.span_events == 0) {
+    std::cerr << "trace_validate: " << path << ": no complete spans\n";
+    return 1;
+  }
+  if (require_solve_spans) {
+    // The optimizer contract: every incremental SAT call produces an
+    // "olsq2.solve" span carrying the assumed bounds and conflict delta.
+    for (const char* needle :
+         {"\"name\":\"olsq2.solve\"", "\"depth_bound\":", "\"swap_bound\":",
+          "\"conflicts\":"}) {
+      if (text.find(needle) == std::string::npos) {
+        std::cerr << "trace_validate: " << path << ": missing " << needle
+                  << "\n";
+        return 1;
+      }
+    }
+  }
+  std::cout << "trace_validate: " << path << ": OK (" << check.total_events
+            << " events, " << check.span_events << " spans, "
+            << check.counter_events << " counter samples)\n";
+  return 0;
+}
