@@ -1,0 +1,38 @@
+// Shared result type for the semantic encoding audits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olsq2::analysis {
+
+/// Outcome of a semantic audit: a batch of solver-backed obligation checks.
+struct AuditResult {
+  bool ok = true;
+  /// Obligations actually discharged through the solver.
+  std::int64_t checks = 0;
+  /// Obligations skipped by sampling caps (0 = everything was checked).
+  std::int64_t skipped = 0;
+  /// One entry per violated (or inconclusive) obligation; capped.
+  std::vector<std::string> errors;
+
+  static constexpr std::size_t kMaxErrors = 16;
+
+  void fail(std::string message) {
+    ok = false;
+    if (errors.size() < kMaxErrors) errors.push_back(std::move(message));
+  }
+
+  /// Fold `other` into this result (for multi-stage audits).
+  void merge(const AuditResult& other) {
+    ok = ok && other.ok;
+    checks += other.checks;
+    skipped += other.skipped;
+    for (const std::string& e : other.errors) {
+      if (errors.size() < kMaxErrors) errors.push_back(e);
+    }
+  }
+};
+
+}  // namespace olsq2::analysis

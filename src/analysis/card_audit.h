@@ -1,0 +1,56 @@
+// Structure recognizers for the cardinality encodings (paper §III-C).
+//
+// The sequential-counter / totalizer / adder encodings are the paper's
+// performance-critical clauses; a dropped or mis-signed clause weakens the
+// bound and the optimizer silently reports a wrong "optimal" SWAP count.
+// These audits verify that a clause set actually encodes `at most k of the
+// given inputs`:
+//   - exhaustively for small input counts (every one of the 2^n input
+//     assignments is discharged through the CDCL solver under assumptions:
+//     SAT iff <= k inputs true);
+//   - structurally for large ones (windowed k+1-subsets must be UNSAT,
+//     canonical <= k assignments must be SAT).
+// The audits are black-box: they accept any clause list, so tests can
+// corrupt an encoding (drop one clause) and check the auditor catches it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/audit.h"
+#include "sat/types.h"
+
+namespace olsq2::analysis {
+
+/// Which at-most-k encoder produced a formula (for the convenience audit).
+enum class CardKind { kSeqCounter, kTotalizer, kAdder };
+
+const char* card_kind_name(CardKind kind);
+
+/// A standalone cardinality formula: `clauses` over `num_vars` variables
+/// constraining `inputs` (with auxiliary counter variables above them).
+struct CardFormula {
+  int num_vars = 0;
+  std::vector<sat::Clause> clauses;
+  std::vector<sat::Lit> inputs;
+  int k = 0;
+};
+
+/// Encode `at most k of n fresh inputs` with the chosen encoder, capturing
+/// the emitted clauses. The encoders run against a real solver with clause
+/// logging on, so what is audited is exactly what production emits.
+CardFormula encode_at_most_k(CardKind kind, int n, int k);
+
+/// Verify that `clauses` constrain `inputs` to at-most-k. Inputs counts up
+/// to `exhaustive_limit` get the exhaustive 2^n sweep; larger formulas get
+/// the windowed structural audit.
+AuditResult audit_at_most_k(int num_vars,
+                            const std::vector<sat::Clause>& clauses,
+                            std::span<const sat::Lit> inputs, int k,
+                            int exhaustive_limit = 12);
+
+/// Convenience: encode with the given encoder and audit the result.
+AuditResult audit_card_encoding(CardKind kind, int n, int k,
+                                int exhaustive_limit = 12);
+
+}  // namespace olsq2::analysis

@@ -1,0 +1,42 @@
+#include "analysis/exclusion_audit.h"
+
+#include <string>
+
+#include "sat/solver.h"
+
+namespace olsq2::analysis {
+
+AuditResult audit_mutual_exclusion(
+    sat::Solver& solver,
+    std::span<const std::pair<sat::Lit, sat::Lit>> pairs,
+    std::size_t max_pairs) {
+  AuditResult result;
+  std::size_t stride = 1;
+  if (max_pairs > 0 && pairs.size() > max_pairs) {
+    stride = (pairs.size() + max_pairs - 1) / max_pairs;
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i % stride != 0) {
+      result.skipped++;
+      continue;
+    }
+    const auto& [a, b] = pairs[i];
+    result.checks++;
+    solver.set_conflict_budget(200000);
+    const sat::Lit assumptions[2] = {a, b};
+    const sat::LBool status = solver.solve(assumptions);
+    const std::string pair_name = "pair " + std::to_string(i) + " (lit " +
+                                  std::to_string(a.code()) + ", lit " +
+                                  std::to_string(b.code()) + ")";
+    if (status == sat::LBool::kTrue) {
+      result.fail("mutual exclusion violated: " + pair_name +
+                  " can both be true");
+    } else if (status == sat::LBool::kUndef) {
+      result.fail("inconclusive (conflict budget expired): " + pair_name);
+    }
+  }
+  solver.clear_budgets();
+  return result;
+}
+
+}  // namespace olsq2::analysis

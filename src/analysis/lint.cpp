@@ -1,0 +1,256 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/json_escape.h"
+
+namespace olsq2::analysis {
+
+namespace {
+
+Severity check_severity(std::string_view check) {
+  if (check == "invalid-literal" || check == "empty-clause") {
+    return Severity::kError;
+  }
+  if (check == "pure-literal") return Severity::kInfo;
+  return Severity::kWarning;
+}
+
+std::string clause_to_string(const sat::Clause& clause) {
+  std::ostringstream out;
+  out << "(";
+  for (std::size_t i = 0; i < clause.size(); ++i) {
+    if (i > 0) out << " ";
+    out << (clause[i].sign() ? "~" : "") << "x" << clause[i].var();
+  }
+  out << ")";
+  return out.str();
+}
+
+// 64-bit FNV-1a over the literal codes of a normalized clause.
+std::uint64_t clause_hash(const sat::Clause& clause) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const sat::Lit l : clause) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.code()));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+class Reporter {
+ public:
+  Reporter(LintReport& report, const LintOptions& options)
+      : report_(report), options_(options) {}
+
+  void add(const std::string& check, std::string detail) {
+    const Severity severity = check_severity(check);
+    auto& count = report_.counts[check];
+    count++;
+    switch (severity) {
+      case Severity::kError: report_.errors++; break;
+      case Severity::kWarning: report_.warnings++; break;
+      case Severity::kInfo: report_.infos++; break;
+    }
+    if (static_cast<std::size_t>(count) <= options_.max_issues_per_check) {
+      report_.issues.push_back({severity, check, std::move(detail)});
+    }
+  }
+
+ private:
+  LintReport& report_;
+  const LintOptions& options_;
+};
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+LintReport lint_cnf(int num_vars, const std::vector<sat::Clause>& clauses,
+                    const LintOptions& options) {
+  LintReport report;
+  report.num_vars = num_vars;
+  report.num_clauses = static_cast<std::int64_t>(clauses.size());
+  Reporter out(report, options);
+
+  // Per-variable polarity occurrence counts.
+  std::vector<std::uint32_t> pos_count(static_cast<std::size_t>(num_vars), 0);
+  std::vector<std::uint32_t> neg_count(static_cast<std::size_t>(num_vars), 0);
+
+  // Normalized (sorted, per-clause) copies feed the duplicate and
+  // subsumption passes so literal order never hides a finding.
+  std::vector<sat::Clause> normalized;
+  normalized.reserve(clauses.size());
+
+  for (std::size_t ci = 0; ci < clauses.size(); ++ci) {
+    const sat::Clause& clause = clauses[ci];
+    report.num_literals += static_cast<std::int64_t>(clause.size());
+    if (clause.empty()) {
+      out.add("empty-clause", "clause " + std::to_string(ci) + " is empty");
+      normalized.emplace_back();
+      continue;
+    }
+    bool malformed = false;
+    for (const sat::Lit l : clause) {
+      if (l.is_undef() || l.var() < 0 || l.var() >= num_vars) {
+        out.add("invalid-literal",
+                "clause " + std::to_string(ci) + " references literal code " +
+                    std::to_string(l.code()) + " outside [0, 2*" +
+                    std::to_string(num_vars) + ")");
+        malformed = true;
+        break;
+      }
+    }
+    if (malformed) {
+      normalized.emplace_back();
+      continue;
+    }
+    sat::Clause sorted = clause;
+    std::sort(sorted.begin(), sorted.end());
+    bool tautology = false;
+    bool duplicate_lit = false;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      if (sorted[i] == sorted[i + 1]) duplicate_lit = true;
+      if (sorted[i] == ~sorted[i + 1]) tautology = true;
+    }
+    if (tautology) {
+      out.add("tautological-clause",
+              "clause " + std::to_string(ci) + " " + clause_to_string(clause) +
+                  " contains a literal and its negation");
+    }
+    if (duplicate_lit) {
+      out.add("duplicate-literal",
+              "clause " + std::to_string(ci) + " " + clause_to_string(clause) +
+                  " repeats a literal");
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    }
+    for (const sat::Lit l : sorted) {
+      if (l.sign()) {
+        neg_count[static_cast<std::size_t>(l.var())]++;
+      } else {
+        pos_count[static_cast<std::size_t>(l.var())]++;
+      }
+    }
+    normalized.push_back(std::move(sorted));
+  }
+
+  // Duplicate clauses: identical normalized literal sets.
+  {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    for (std::size_t ci = 0; ci < normalized.size(); ++ci) {
+      if (normalized[ci].empty()) continue;
+      auto& bucket = buckets[clause_hash(normalized[ci])];
+      for (const std::size_t prev : bucket) {
+        if (normalized[prev] == normalized[ci]) {
+          out.add("duplicate-clause",
+                  "clause " + std::to_string(ci) + " duplicates clause " +
+                      std::to_string(prev) + " " +
+                      clause_to_string(normalized[ci]));
+          break;
+        }
+      }
+      bucket.push_back(ci);
+    }
+  }
+
+  // Subsumption by unit and binary clauses: any clause that contains all
+  // literals of a distinct unit/binary clause is redundant.
+  {
+    std::unordered_set<std::int64_t> binary;  // packed (code0, code1), sorted
+    std::unordered_set<std::int32_t> units;
+    auto pack = [](sat::Lit a, sat::Lit b) {
+      if (b < a) std::swap(a, b);
+      return (static_cast<std::int64_t>(a.code()) << 32) | b.code();
+    };
+    for (const sat::Clause& c : normalized) {
+      if (c.size() == 1) units.insert(c[0].code());
+      if (c.size() == 2) binary.insert(pack(c[0], c[1]));
+    }
+    for (std::size_t ci = 0; ci < normalized.size(); ++ci) {
+      const sat::Clause& c = normalized[ci];
+      if (c.size() < 2 || c.size() > options.subsumption_max_clause_len) {
+        continue;
+      }
+      bool flagged = false;
+      if (!units.empty()) {
+        for (const sat::Lit l : c) {
+          if (units.count(l.code()) != 0) {
+            out.add("subsumed-clause",
+                    "clause " + std::to_string(ci) + " " +
+                        clause_to_string(c) + " is subsumed by unit clause (" +
+                        (l.sign() ? "~" : "") + "x" + std::to_string(l.var()) +
+                        ")");
+            flagged = true;
+            break;
+          }
+        }
+      }
+      if (flagged || c.size() == 2 || binary.empty()) continue;
+      for (std::size_t i = 0; i < c.size() && !flagged; ++i) {
+        for (std::size_t j = i + 1; j < c.size(); ++j) {
+          if (binary.count(pack(c[i], c[j])) != 0) {
+            out.add("subsumed-clause",
+                    "clause " + std::to_string(ci) + " " +
+                        clause_to_string(c) + " is subsumed by binary clause " +
+                        clause_to_string({c[i], c[j]}));
+            flagged = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Variable occurrence checks.
+  for (int v = 0; v < num_vars; ++v) {
+    const std::uint32_t pos = pos_count[static_cast<std::size_t>(v)];
+    const std::uint32_t neg = neg_count[static_cast<std::size_t>(v)];
+    if (pos == 0 && neg == 0) {
+      out.add("unused-var",
+              "variable x" + std::to_string(v) + " occurs in no clause");
+    } else if (pos == 0 || neg == 0) {
+      out.add("pure-literal", "variable x" + std::to_string(v) +
+                                  " occurs only " +
+                                  (pos == 0 ? "negated" : "positive") + " (" +
+                                  std::to_string(pos + neg) + " occurrences)");
+    }
+  }
+
+  return report;
+}
+
+std::string LintReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"num_vars\":" << num_vars << ",\"num_clauses\":" << num_clauses
+      << ",\"num_literals\":" << num_literals << ",\"errors\":" << errors
+      << ",\"warnings\":" << warnings << ",\"infos\":" << infos
+      << ",\"counts\":{";
+  bool first = true;
+  for (const auto& [check, count] : counts) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << obs::json_escape(check) << "\":" << count;
+  }
+  out << "},\"issues\":[";
+  first = true;
+  for (const LintIssue& issue : issues) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"severity\":\"" << severity_name(issue.severity)
+        << "\",\"check\":\"" << obs::json_escape(issue.check)
+        << "\",\"detail\":\"" << obs::json_escape(issue.detail) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace olsq2::analysis

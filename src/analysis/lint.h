@@ -1,0 +1,74 @@
+// Static CNF formula linter.
+//
+// OLSQ2's speed claims rest on the *correctness* of its succinct SAT
+// encoding: one mis-encoded cardinality or injectivity clause silently
+// yields "optimal" layouts that are wrong. The linter is the cheap, purely
+// syntactic half of the correctness harness (the semantic half lives in
+// card_audit.h / exclusion_audit.h): it runs over any generated formula —
+// typically a Solver clause log — and reports
+//   errors:   malformed literals, empty clauses;
+//   warnings: duplicate clauses, duplicate literals within a clause,
+//             tautological clauses, clauses subsumed by a binary clause,
+//             variables that never occur in any clause;
+//   info:     pure literals (variables occurring in one polarity only —
+//             legitimate in counter tails, but a drift signal worth
+//             tracking per encoder).
+// Reports serialize to JSON (obs::json_escape) for the olsq2_lint CLI and
+// the CI lint job.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace olsq2::analysis {
+
+enum class Severity { kError, kWarning, kInfo };
+
+const char* severity_name(Severity s);
+
+/// One finding. `check` is a stable kebab-case identifier (e.g.
+/// "duplicate-clause"); `detail` is human-readable context.
+struct LintIssue {
+  Severity severity = Severity::kInfo;
+  std::string check;
+  std::string detail;
+};
+
+struct LintOptions {
+  /// Per-check cap on materialized issue details. Counts stay exact.
+  std::size_t max_issues_per_check = 8;
+  /// Clauses longer than this are skipped by the binary-subsumption scan
+  /// (it enumerates literal pairs, so cost is quadratic in clause length).
+  std::size_t subsumption_max_clause_len = 24;
+};
+
+struct LintReport {
+  // Formula shape.
+  int num_vars = 0;
+  std::int64_t num_clauses = 0;
+  std::int64_t num_literals = 0;
+
+  /// Exact finding count per check identifier.
+  std::map<std::string, std::int64_t> counts;
+  /// Materialized findings (capped per check by LintOptions).
+  std::vector<LintIssue> issues;
+
+  std::int64_t errors = 0;
+  std::int64_t warnings = 0;
+  std::int64_t infos = 0;
+
+  bool ok() const { return errors == 0; }
+
+  /// One JSON object (no trailing newline).
+  std::string to_json() const;
+};
+
+/// Lint `clauses` over variables [0, num_vars).
+LintReport lint_cnf(int num_vars, const std::vector<sat::Clause>& clauses,
+                    const LintOptions& options = {});
+
+}  // namespace olsq2::analysis

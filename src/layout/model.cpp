@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
 
+#include "analysis/lint.h"
 #include "encode/cardinality.h"
 #include "obs/obs.h"
 
 namespace olsq2::layout {
+
+namespace {
+
+// OLSQ2_LINT_ENCODING=1 runs the CNF linter over every freshly built model
+// and aborts on lint errors — the debug path CI's lint job exercises.
+bool lint_encodings_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("OLSQ2_LINT_ENCODING");
+    return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace
 
 std::string EncodingConfig::label() const {
   std::string s = formulation == Formulation::kOlsq2 ? "OLSQ2" : "OLSQ";
@@ -28,7 +46,7 @@ Model::Model(const Problem& problem, int t_ub, const EncodingConfig& config,
       builder_(solver_),
       deps_(circ_) {
   solver_.set_proof(proof);
-  solver_.set_clause_log(log_clauses);
+  solver_.set_clause_log(log_clauses || lint_encodings_enabled());
   if (circ_.num_qubits() > dev_.num_qubits()) {
     throw std::invalid_argument("layout: circuit has more program qubits (" +
                                 std::to_string(circ_.num_qubits()) +
@@ -65,6 +83,19 @@ Model::Model(const Problem& problem, int t_ub, const EncodingConfig& config,
     span.arg("t_ub", t_ub_);
     span.arg("vars", solver_.num_vars());
     span.arg("clauses", static_cast<std::int64_t>(solver_.num_clauses()));
+  }
+
+  if (lint_encodings_enabled()) {
+    const analysis::LintReport report =
+        analysis::lint_cnf(solver_.num_vars(), solver_.clause_log());
+    std::cerr << "[olsq2-lint] " << config_.label() << " t_ub=" << t_ub_
+              << ": " << report.errors << " errors, " << report.warnings
+              << " warnings, " << report.infos << " infos over "
+              << report.num_clauses << " clauses\n";
+    if (!report.ok()) {
+      throw std::logic_error("encoding lint failed for " + config_.label() +
+                             ": " + report.to_json());
+    }
   }
 }
 
@@ -381,6 +412,27 @@ Result Model::extract() const {
   }
   r.swap_count = static_cast<int>(r.swaps.size());
   return r;
+}
+
+std::vector<std::pair<Lit, Lit>> Model::injectivity_obligations() {
+  // The eq() literals were all materialized while the injectivity clauses
+  // were built, so these lookups hit the FdVar caches and emit nothing new.
+  std::vector<std::pair<Lit, Lit>> pairs;
+  const int num_q = circ_.num_qubits();
+  const int num_p = dev_.num_qubits();
+  pairs.reserve(static_cast<std::size_t>(t_ub_) * num_p * num_q *
+                (num_q - 1) / 2);
+  for (int t = 0; t < t_ub_; ++t) {
+    for (int q = 0; q < num_q; ++q) {
+      for (int r = q + 1; r < num_q; ++r) {
+        for (int p = 0; p < num_p; ++p) {
+          pairs.emplace_back(pi_[q][t].eq(builder_, p),
+                             pi_[r][t].eq(builder_, p));
+        }
+      }
+    }
+  }
+  return pairs;
 }
 
 int Model::count_swaps() const {

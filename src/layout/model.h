@@ -57,6 +57,13 @@ class Model {
   /// Number of SWAP variables that are true in the current model.
   int count_swaps() const;
 
+  /// The injectivity obligations this model must enforce: one literal pair
+  /// per (program-qubit pair, physical qubit, time step) that may never be
+  /// simultaneously true, regardless of which InjectivityEncoding emitted
+  /// the clauses. Input for analysis::audit_mutual_exclusion — the
+  /// recognizer that checks the encoding covers every pin pair.
+  std::vector<std::pair<Lit, Lit>> injectivity_obligations();
+
  private:
   void build_variables();
   void build_injectivity();

@@ -1,0 +1,25 @@
+// Internal clause representation shared between the solver core
+// (solver.cpp) and the invariant auditor (invariant_check.cpp). Not part
+// of the public API — include solver.h instead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace olsq2::sat {
+
+struct Solver::ClauseData {
+  std::vector<Lit> lits;
+  float activity = 0.0f;
+  unsigned lbd = 0;
+  bool learnt = false;
+
+  std::size_t size() const { return lits.size(); }
+  Lit& operator[](std::size_t i) { return lits[i]; }
+  Lit operator[](std::size_t i) const { return lits[i]; }
+};
+
+}  // namespace olsq2::sat

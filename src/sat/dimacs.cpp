@@ -24,15 +24,22 @@ DimacsProblem parse_dimacs(std::string_view text) {
   bool have_header = false;
   std::size_t declared_clauses = 0;
   Clause current;
+  bool current_started = false;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == 'c') continue;
     if (line[0] == 'p') {
+      if (have_header) {
+        throw std::runtime_error("dimacs: duplicate problem line");
+      }
       std::istringstream header(line);
       std::string p, cnf;
-      header >> p >> cnf >> problem.num_vars >> declared_clauses;
-      if (cnf != "cnf" || !header) {
+      long long vars = -1, clauses = -1;
+      header >> p >> cnf >> vars >> clauses;
+      if (cnf != "cnf" || !header || vars < 0 || clauses < 0) {
         throw std::runtime_error("dimacs: malformed problem line");
       }
+      problem.num_vars = static_cast<int>(vars);
+      declared_clauses = static_cast<std::size_t>(clauses);
       have_header = true;
       continue;
     }
@@ -40,23 +47,37 @@ DimacsProblem parse_dimacs(std::string_view text) {
     long long value = 0;
     while (body >> value) {
       if (value == 0) {
+        // A "0" with no preceding literals is an empty clause: valid DIMACS
+        // in the abstract, but every emitter in this repo normalizes empty
+        // clauses away, so seeing one means the file is corrupt.
+        if (!current_started) {
+          throw std::runtime_error("dimacs: empty clause");
+        }
         problem.clauses.push_back(current);
         current.clear();
+        current_started = false;
         continue;
       }
+      current_started = true;
       const int var = static_cast<int>(value > 0 ? value : -value) - 1;
       if (!have_header || var >= problem.num_vars) {
         throw std::runtime_error("dimacs: literal out of declared range");
       }
       current.emplace_back(var, value < 0);
     }
+    if (!body.eof()) {
+      throw std::runtime_error("dimacs: non-numeric token in clause body");
+    }
   }
   if (!have_header) throw std::runtime_error("dimacs: missing problem line");
-  if (!current.empty()) {
+  if (current_started) {
     throw std::runtime_error("dimacs: trailing clause without terminating 0");
   }
   if (problem.clauses.size() != declared_clauses) {
-    // Tolerated by most solvers; we only warn via exception-free behavior.
+    throw std::runtime_error(
+        "dimacs: clause count mismatch (header declares " +
+        std::to_string(declared_clauses) + ", found " +
+        std::to_string(problem.clauses.size()) + ")");
   }
   return problem;
 }

@@ -23,7 +23,12 @@ struct DimacsProblem {
 std::string to_dimacs(int num_vars, const std::vector<Clause>& clauses);
 
 /// Parse DIMACS text (comments and the problem line are honored; extra
-/// whitespace tolerated). Throws std::runtime_error on malformed input.
+/// whitespace tolerated). The parser is strict: it throws
+/// std::runtime_error on a missing/duplicate/malformed problem line, a
+/// literal outside the declared variable range, a clause-count mismatch
+/// against the header, an empty clause, a non-numeric token, or a trailing
+/// clause without its terminating 0 — corrupt instances are rejected
+/// rather than silently mis-read.
 DimacsProblem parse_dimacs(std::string_view text);
 
 }  // namespace olsq2::sat

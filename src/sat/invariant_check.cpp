@@ -1,0 +1,219 @@
+// Deep structural self-checks for the CDCL solver (Solver::check_invariants
+// and the opt-in auditing hook). Kept out of solver.cpp so the hot solving
+// path and the audit machinery evolve independently.
+//
+// The audited invariants:
+//   Watch lists
+//     W1  every watcher references a live (attached) clause;
+//     W2  every stored clause of size >= 2 has exactly two watchers, sitting
+//         in the lists of the negations of its first two literals;
+//     W3  a watcher's blocker is a literal of its clause;
+//     W4  at a propagation fixpoint, a false watched literal implies the
+//         clause is satisfied by a literal assigned at an earlier-or-equal
+//         level (the two-watched-literal scheme's soundness condition).
+//   Trail / levels
+//     T1  qhead_ <= trail size; level marks are monotone and in range;
+//     T2  every trail literal is true, assigned at the level of its trail
+//         segment, and no variable appears twice;
+//     T3  every assigned variable is on the trail (and vice versa).
+//   Reasons
+//     R1  a reason clause is live, has its implied literal first, and that
+//         literal is true;
+//     R2  all other literals of a reason are false at levels <= the implied
+//         literal's level (the implication was and stays valid).
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sat/clause_data.h"
+#include "sat/solver.h"
+
+namespace olsq2::sat {
+
+namespace {
+
+std::string lit_to_string(Lit l) {
+  return (l.sign() ? "~x" : "x") + std::to_string(l.var());
+}
+
+}  // namespace
+
+bool Solver::check_invariants(std::vector<std::string>* errors) const {
+  constexpr std::size_t kMaxErrors = 16;
+  bool ok = true;
+  auto fail = [&](const std::string& message) {
+    ok = false;
+    if (errors != nullptr && errors->size() < kMaxErrors) {
+      errors->push_back(message);
+    }
+  };
+
+  // Live clause set: everything currently attached.
+  std::unordered_set<const ClauseData*> live;
+  live.reserve(clauses_.size() + learnts_.size());
+  for (const auto& c : clauses_) live.insert(c.get());
+  for (const auto& c : learnts_) live.insert(c.get());
+
+  // One pass over the watch lists: W1/W3 per watcher, and an index of
+  // which literal lists each clause is watched from (for W2).
+  std::unordered_map<const ClauseData*, std::vector<std::int32_t>> watched_at;
+  watched_at.reserve(live.size());
+  for (std::int32_t code = 0; code < 2 * num_vars(); ++code) {
+    for (const Watcher& w :
+         watches_[static_cast<std::size_t>(code)]) {
+      if (live.count(w.clause) == 0) {
+        fail("W1: stale watcher on literal list " + std::to_string(code) +
+             " references a removed clause");
+        continue;
+      }
+      watched_at[w.clause].push_back(code);
+      const auto& lits = w.clause->lits;
+      if (std::find(lits.begin(), lits.end(), w.blocker) == lits.end()) {
+        fail("W3: blocker " + lit_to_string(w.blocker) +
+             " is not a literal of its watched clause");
+      }
+    }
+  }
+
+  const bool at_fixpoint = qhead_ == trail_.size() && ok_;
+  for (const ClauseData* c : live) {
+    const auto& lits = c->lits;
+    if (lits.size() < 2) {
+      fail("W2: stored clause of size " + std::to_string(lits.size()) +
+           " (units must live on the trail, empties flip ok_)");
+      continue;
+    }
+    const auto it = watched_at.find(c);
+    const std::size_t watcher_count =
+        it == watched_at.end() ? 0 : it->second.size();
+    if (watcher_count != 2) {
+      fail("W2: clause watched " + std::to_string(watcher_count) +
+           " times (expected exactly 2), first lits " +
+           lit_to_string(lits[0]) + " " + lit_to_string(lits[1]));
+      continue;
+    }
+    std::vector<std::int32_t> expected = {(~lits[0]).code(),
+                                          (~lits[1]).code()};
+    std::vector<std::int32_t> actual = it->second;
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    if (expected != actual) {
+      fail("W2: clause watched on lists {" + std::to_string(actual[0]) + "," +
+           std::to_string(actual[1]) + "} but its first literals are " +
+           lit_to_string(lits[0]) + " " + lit_to_string(lits[1]));
+    }
+    if (at_fixpoint) {
+      for (int i = 0; i < 2; ++i) {
+        const Lit w = lits[static_cast<std::size_t>(i)];
+        if (value(w) != LBool::kFalse) continue;
+        bool satisfied_earlier = false;
+        for (const Lit l : lits) {
+          if (value(l) == LBool::kTrue && level(l.var()) <= level(w.var())) {
+            satisfied_earlier = true;
+            break;
+          }
+        }
+        if (!satisfied_earlier) {
+          fail("W4: watched literal " + lit_to_string(w) +
+               " is false at level " + std::to_string(level(w.var())) +
+               " but the clause is not satisfied at or before that level");
+        }
+      }
+    }
+  }
+
+  // Trail and level consistency.
+  if (qhead_ > trail_.size()) {
+    fail("T1: qhead " + std::to_string(qhead_) + " beyond trail size " +
+         std::to_string(trail_.size()));
+  }
+  for (std::size_t i = 0; i < trail_lim_.size(); ++i) {
+    const int mark = trail_lim_[i];
+    if (mark < 0 || static_cast<std::size_t>(mark) > trail_.size() ||
+        (i > 0 && mark < trail_lim_[i - 1])) {
+      fail("T1: trail level mark " + std::to_string(i) +
+           " out of order or range (" + std::to_string(mark) + ")");
+    }
+  }
+  std::unordered_set<Var> on_trail;
+  on_trail.reserve(trail_.size());
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    const Lit l = trail_[i];
+    const Var v = l.var();
+    if (v < 0 || v >= num_vars()) {
+      fail("T2: trail entry " + std::to_string(i) + " names bad variable");
+      continue;
+    }
+    if (!on_trail.insert(v).second) {
+      fail("T2: variable x" + std::to_string(v) + " appears twice on trail");
+    }
+    if (value(l) != LBool::kTrue) {
+      fail("T2: trail literal " + lit_to_string(l) + " is not true");
+    }
+    // The level of a trail entry is the number of level marks at or below
+    // its index.
+    const int expected_level = static_cast<int>(
+        std::upper_bound(trail_lim_.begin(), trail_lim_.end(),
+                         static_cast<int>(i)) -
+        trail_lim_.begin());
+    if (level(v) != expected_level) {
+      fail("T2: " + lit_to_string(l) + " recorded at level " +
+           std::to_string(level(v)) + " but sits in trail segment " +
+           std::to_string(expected_level));
+    }
+  }
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[static_cast<std::size_t>(v)] != LBool::kUndef &&
+        on_trail.count(v) == 0) {
+      fail("T3: variable x" + std::to_string(v) +
+           " is assigned but missing from the trail");
+    }
+  }
+
+  // Reason-clause sanity.
+  for (const Lit l : trail_) {
+    const Var v = l.var();
+    const ClauseData* reason = reasons_[static_cast<std::size_t>(v)];
+    if (reason == nullptr) continue;
+    if (live.count(reason) == 0) {
+      fail("R1: reason for x" + std::to_string(v) + " is a removed clause");
+      continue;
+    }
+    const auto& lits = reason->lits;
+    if (lits.empty() || lits[0].var() != v) {
+      fail("R1: reason for x" + std::to_string(v) +
+           " does not have the implied literal first");
+      continue;
+    }
+    if (value(lits[0]) != LBool::kTrue) {
+      fail("R1: implied literal " + lit_to_string(lits[0]) + " is not true");
+    }
+    for (std::size_t i = 1; i < lits.size(); ++i) {
+      if (value(lits[i]) != LBool::kFalse) {
+        fail("R2: reason literal " + lit_to_string(lits[i]) + " for x" +
+             std::to_string(v) + " is not false");
+      } else if (level(lits[i].var()) > level(v)) {
+        fail("R2: reason literal " + lit_to_string(lits[i]) +
+             " assigned at level " + std::to_string(level(lits[i].var())) +
+             " after the implied literal's level " +
+             std::to_string(level(v)));
+      }
+    }
+  }
+
+  return ok;
+}
+
+void Solver::audit_invariants(const char* where) const {
+  if (!check_invariants_enabled_) return;
+  std::vector<std::string> errors;
+  if (check_invariants(&errors)) return;
+  std::ostringstream message;
+  message << "sat::Solver invariant violation at " << where << ":";
+  for (const std::string& e : errors) message << "\n  " << e;
+  throw std::logic_error(message.str());
+}
+
+}  // namespace olsq2::sat

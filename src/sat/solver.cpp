@@ -3,24 +3,34 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
+#include <string_view>
 
 #include "obs/obs.h"
+#include "sat/clause_data.h"
 #include "sat/luby.h"
 
 namespace olsq2::sat {
 
-struct Solver::ClauseData {
-  std::vector<Lit> lits;
-  float activity = 0.0f;
-  unsigned lbd = 0;
-  bool learnt = false;
+namespace {
 
-  std::size_t size() const { return lits.size(); }
-  Lit& operator[](std::size_t i) { return lits[i]; }
-  Lit operator[](std::size_t i) const { return lits[i]; }
-};
+// OLSQ2_CHECK_INVARIANTS=1 (or the CMake option of the same name) arms the
+// deep self-checks on every solver in the process; read once.
+bool invariants_enabled_by_env() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("OLSQ2_CHECK_INVARIANTS");
+#ifdef OLSQ2_CHECK_INVARIANTS_DEFAULT
+    // Compiled-in default: on, unless the environment explicitly disables.
+    if (v == nullptr || *v == '\0') return true;
+#endif
+    return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+  }();
+  return enabled;
+}
 
-Solver::Solver() = default;
+}  // namespace
+
+Solver::Solver() : check_invariants_enabled_(invariants_enabled_by_env()) {}
 Solver::~Solver() = default;
 
 Var Solver::new_var() {
@@ -440,6 +450,9 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
                        static_cast<double>(stats_.propagations));
         }
         if (budget_exhausted()) return LBool::kUndef;
+        // Backtrack-boundary audit, sampled on the same cadence as the
+        // budget check so the deep scan stays off the per-conflict path.
+        audit_invariants("conflict-backtrack");
       }
     } else {
       const bool restart_due =
@@ -451,6 +464,7 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
         if (trace_live_) obs::instant("sat.restart");
         reset_recent_lbds();
         cancel_until(0);
+        audit_invariants("restart");
         return LBool::kUndef;
       }
       // Clause DB reduction runs on the Glucose conflict schedule in all
@@ -476,8 +490,11 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
         }
       }
       if (next.is_undef()) {
-        if ((stats_.decisions & 0x3FF) == 0 && budget_exhausted()) {
-          return LBool::kUndef;
+        if ((stats_.decisions & 0x3FF) == 0) {
+          if (budget_exhausted()) return LBool::kUndef;
+          // Decision-boundary audit (sampled): the trail is at a
+          // propagation fixpoint here, so all invariants apply.
+          audit_invariants("decision");
         }
         next = pick_branch_lit();
         if (next.is_undef()) {
@@ -541,6 +558,7 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   obs::Span span("sat.solve");
   const Stats before = stats_;
   cancel_until(0);
+  audit_invariants("solve-entry");
   assumptions_.assign(assumptions.begin(), assumptions.end());
 
   conflicts_at_solve_start_ = static_cast<std::int64_t>(stats_.conflicts);
@@ -574,6 +592,7 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   }
   cancel_until(0);
   assumptions_.clear();
+  audit_invariants("solve-exit");
   if (span.live()) {
     const Stats delta = stats_ - before;
     span.arg("result", status == LBool::kTrue    ? "sat"

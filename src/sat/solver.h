@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sat/heap.h"
@@ -129,6 +130,25 @@ class Solver {
   /// normalization steps are covered; pass nullptr to detach.
   void set_proof(Proof* proof) { proof_ = proof; }
 
+  /// Deep structural self-check of the solver state: watch-list integrity
+  /// (every stored clause watched exactly twice, on its first two literals,
+  /// with watcher blockers drawn from the clause; a false watched literal
+  /// only with the clause otherwise satisfied at an earlier level),
+  /// trail/level consistency, and reason-clause sanity. Returns true when
+  /// consistent; on failure returns false and appends descriptions to
+  /// `errors` (when non-null). Safe to call at any quiescent point.
+  bool check_invariants(std::vector<std::string>* errors = nullptr) const;
+
+  /// Opt-in continuous auditing: when enabled, check_invariants() runs at
+  /// solve entry/exit, every restart, and sampled decision/backtrack
+  /// boundaries; a violation throws std::logic_error. Defaults on when the
+  /// OLSQ2_CHECK_INVARIANTS environment variable is set (non-empty, not
+  /// "0") or the OLSQ2_CHECK_INVARIANTS CMake option baked it in.
+  void set_check_invariants(bool enabled) {
+    check_invariants_enabled_ = enabled;
+  }
+  bool checking_invariants() const { return check_invariants_enabled_; }
+
  private:
   struct ClauseData;
   struct Watcher {
@@ -169,6 +189,9 @@ class Solver {
   void reset_recent_lbds();
   bool glucose_restart_due() const;
   void analyze_final(Lit failed_assumption);
+  /// Invariant-auditing hook: no-op unless enabled; throws std::logic_error
+  /// (tagged with `where`) when a check fails.
+  void audit_invariants(const char* where) const;
 
   static constexpr double kVarDecay = 0.95;
   static constexpr double kClauseDecay = 0.999;
@@ -240,6 +263,7 @@ class Solver {
   std::vector<LBool> model_;
   std::vector<Lit> analyze_stack_;  // scratch for minimization
   bool clause_log_enabled_ = false;
+  bool check_invariants_enabled_ = false;
   std::vector<Clause> clause_log_;
   std::vector<Lit> conflict_core_;
   Proof* proof_ = nullptr;

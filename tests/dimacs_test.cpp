@@ -1,0 +1,70 @@
+// DIMACS parser edge cases: corrupt instances must be rejected with a
+// clear error, never silently mis-read (or worse, UB'd past).
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.h"
+
+namespace olsq2::sat {
+namespace {
+
+TEST(DimacsEdge, RejectsEmptyClause) {
+  EXPECT_THROW(parse_dimacs("p cnf 2 2\n1 2 0\n0\n"), std::runtime_error);
+  // Leading empty clause too, not just trailing.
+  EXPECT_THROW(parse_dimacs("p cnf 2 2\n0\n1 2 0\n"), std::runtime_error);
+}
+
+TEST(DimacsEdge, RejectsClauseCountMismatch) {
+  // Header declares more clauses than the body provides...
+  EXPECT_THROW(parse_dimacs("p cnf 2 3\n1 2 0\n-1 0\n"), std::runtime_error);
+  // ...and fewer.
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 2 0\n-1 0\n"), std::runtime_error);
+}
+
+TEST(DimacsEdge, RejectsOutOfRangeLiteral) {
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n3 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n-3 0\n"), std::runtime_error);
+  // Literals before any header have no declared range at all.
+  EXPECT_THROW(parse_dimacs("1 2 0\n"), std::runtime_error);
+}
+
+TEST(DimacsEdge, RejectsMissingTerminatingZero) {
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 2\n"), std::runtime_error);
+  // Even when the unterminated clause spans multiple lines.
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1\n2\n"), std::runtime_error);
+}
+
+TEST(DimacsEdge, RejectsMalformedHeader) {
+  EXPECT_THROW(parse_dimacs("p dnf 2 1\n1 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p cnf -2 1\n1 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p cnf 2\n1 0\n"), std::runtime_error);
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\np cnf 2 1\n1 0\n"),
+               std::runtime_error);
+}
+
+TEST(DimacsEdge, RejectsNonNumericToken) {
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 x 0\n"), std::runtime_error);
+}
+
+TEST(DimacsEdge, AcceptsClausesSplitAcrossLines) {
+  const DimacsProblem p = parse_dimacs(
+      "c comment\n"
+      "p cnf 3 2\n"
+      "1 -2\n"
+      "0\n"
+      "2 3 0\n");
+  ASSERT_EQ(p.clauses.size(), 2u);
+  EXPECT_EQ(p.clauses[0], (Clause{Lit::pos(0), Lit::neg(1)}));
+  EXPECT_EQ(p.clauses[1], (Clause{Lit::pos(1), Lit::pos(2)}));
+}
+
+TEST(DimacsEdge, RoundTripSurvivesStrictParse) {
+  const std::vector<Clause> clauses = {{Lit::pos(0), Lit::neg(2)},
+                                       {Lit::neg(0), Lit::pos(1)},
+                                       {Lit::pos(2)}};
+  const DimacsProblem parsed = parse_dimacs(to_dimacs(3, clauses));
+  EXPECT_EQ(parsed.num_vars, 3);
+  EXPECT_EQ(parsed.clauses, clauses);
+}
+
+}  // namespace
+}  // namespace olsq2::sat
