@@ -1,6 +1,8 @@
 // Portfolio synthesis (paper §V future work): race several encoding +
 // restart configurations on one problem across threads; the first complete
-// optimum cancels the rest.
+// optimum cancels the rest. The strategies cooperate while they race,
+// trading learnt clauses and proven objective-bound facts through a shared
+// ClauseExchange (see DESIGN.md §8).
 //
 //   $ ./portfolio_race [num_qubits] [grid_side] [seed]
 #include <cstdlib>
@@ -47,8 +49,14 @@ int main(int argc, char** argv) {
     std::cout << "  entry " << i << ": "
               << (r.solved ? (r.hit_budget ? "partial" : "complete")
                            : "cancelled/empty")
-              << (r.solved ? " depth " + std::to_string(r.depth) : "") << "\n";
+              << (r.solved ? " depth " + std::to_string(r.depth) : "") << " ("
+              << r.wall_ms << " ms)\n";
   }
+  const auto& t = result.traffic;
+  std::cout << "exchange: " << t.published << " clauses shared, "
+            << t.delivered << " delivered, " << t.bound_facts
+            << " bound facts, " << t.bound_pruned
+            << " SAT calls pruned\n";
   const bool ok = layout::verify(problem, result.best).ok;
   std::cout << "verifier: " << (ok ? "OK" : "INVALID") << "\n";
   return ok ? 0 : 1;

@@ -1,8 +1,8 @@
 #include "layout/portfolio.h"
 
 #include <atomic>
-#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "layout/olsq2.h"
 #include "layout/tb.h"
@@ -20,6 +20,9 @@ std::vector<PortfolioEntry> default_portfolio(Objective objective,
     entry.options = base;
     entry.options.restart_policy = policy;
     entry.name = config.label() + suffix;
+    // Distinct VSIDS seeds decorrelate otherwise-identical search
+    // trajectories, which makes the clause exchange worth its traffic.
+    entry.options.seed = base.seed + entries.size() + 1;
     entries.push_back(std::move(entry));
   };
 
@@ -45,32 +48,35 @@ PortfolioResult synthesize_portfolio(const Problem& problem,
   result.all.resize(entries.size());
   if (entries.empty()) return result;
 
+  obs::Span span("portfolio.run");
+  span.arg("entries", static_cast<std::uint64_t>(entries.size()));
+
+  // One hub for the whole race: same-encoding strategies trade learnt
+  // clauses, and every strategy shares proven objective-bound facts.
+  sat::ClauseExchange exchange;
   std::atomic<bool> cancel{false};
-  std::mutex mutex;
-  int winner = -1;
 
   auto worker = [&](std::size_t index) {
     PortfolioEntry& entry = entries[index];
     entry.options.cancel = &cancel;
+    entry.options.exchange = &exchange;
     // Each strategy runs on its own thread = its own track in the exported
     // timeline; name the track after the configuration so races read well.
     obs::Trace::instance().set_thread_name("portfolio:" + entry.name);
-    obs::Span span("portfolio.worker");
-    span.arg("strategy", entry.name);
+    obs::Span worker_span("portfolio.worker");
+    worker_span.arg("strategy", entry.name);
     Result r = objective == Objective::kDepth
                    ? synthesize_depth_optimal(problem, entry.config,
                                               entry.options)
                    : synthesize_swap_optimal(problem, entry.config,
                                              entry.options);
-    span.arg("solved", r.solved);
-    span.arg("hit_budget", r.hit_budget);
-    std::lock_guard<std::mutex> lock(mutex);
+    worker_span.arg("solved", r.solved);
+    worker_span.arg("hit_budget", r.hit_budget);
     result.all[index] = std::move(r);
-    const Result& mine = result.all[index];
-    // A complete (non-budget-hit) optimal answer wins the race; the first
-    // one to arrive cancels everyone else.
-    if (mine.solved && !mine.hit_budget && winner < 0) {
-      winner = static_cast<int>(index);
+    // The first complete (non-budget-hit) optimal answer cancels everyone
+    // else; peers that finish before the cancellation lands still report a
+    // complete result and compete for the win below.
+    if (result.all[index].solved && !result.all[index].hit_budget) {
       cancel.store(true, std::memory_order_relaxed);
     }
   };
@@ -82,26 +88,39 @@ PortfolioResult synthesize_portfolio(const Problem& problem,
   }
   for (auto& t : threads) t.join();
 
-  if (winner >= 0) {
-    result.winner = winner;
-    result.best = result.all[winner];
-    return result;
-  }
-  // Nobody finished cleanly: fall back to the best partial answer.
+  // Pick the best answer, preferring complete finishers over partial ones:
+  // objective value first, then wall-clock. All complete finishers proved
+  // the same optimum for *their* strategy, but encodings differ in what
+  // they reach within the budget, so comparing values matters.
+  auto better = [&](const Result& a, const Result& b) {
+    if (!b.solved) return true;
+    const bool a_complete = !a.hit_budget;
+    const bool b_complete = !b.hit_budget;
+    if (a_complete != b_complete) return a_complete;
+    const auto key = [&](const Result& r) {
+      return objective == Objective::kDepth
+                 ? std::pair<int, int>(r.depth, 0)
+                 : std::pair<int, int>(r.swap_count, r.depth);
+    };
+    if (key(a) != key(b)) return key(a) < key(b);
+    return a.wall_ms < b.wall_ms;
+  };
   for (std::size_t i = 0; i < result.all.size(); ++i) {
     const Result& r = result.all[i];
     if (!r.solved) continue;
-    const bool better =
-        !result.best.solved ||
-        (objective == Objective::kDepth
-             ? r.depth < result.best.depth
-             : r.swap_count < result.best.swap_count ||
-                   (r.swap_count == result.best.swap_count &&
-                    r.depth < result.best.depth));
-    if (better) {
+    if (result.winner < 0 || better(r, result.best)) {
       result.best = r;
       result.winner = static_cast<int>(i);
     }
+  }
+
+  result.traffic = exchange.traffic();
+  if (span.live()) {
+    span.arg("winner", result.winner);
+    span.arg("clauses_published", result.traffic.published);
+    span.arg("clauses_delivered", result.traffic.delivered);
+    span.arg("bound_facts", result.traffic.bound_facts);
+    span.arg("bound_pruned", result.traffic.bound_pruned);
   }
   return result;
 }

@@ -10,11 +10,19 @@
 //
 // Each entry runs on its own thread with its own Model/solver; when one
 // finishes, the others are interrupted through Solver::interrupt().
+//
+// The entries do not merely race: they cooperate through a shared
+// ClauseExchange. Strategies with identical encodings trade small learnt
+// clauses (sat/exchange.h), and every strategy publishes proven
+// objective-bound facts - an UNSAT certificate at depth d or SWAP count k
+// prunes the bound search of all peers via the monotone solution structure
+// of paper §III-B, regardless of encoding.
 #pragma once
 
 #include <vector>
 
 #include "layout/types.h"
+#include "sat/exchange.h"
 
 namespace olsq2::layout {
 
@@ -32,8 +40,10 @@ struct PortfolioResult {
   /// (-1 if nothing finished within the budget).
   int winner = -1;
   /// Per-entry outcomes, in entry order (unfinished entries have
-  /// solved=false).
+  /// solved=false; every entry records its wall_ms).
   std::vector<Result> all;
+  /// Clause/bound-fact exchange counters for the run.
+  sat::ClauseExchange::Traffic traffic;
 };
 
 /// Build a sensible default portfolio: the paper's fastest encodings plus
@@ -42,8 +52,10 @@ struct PortfolioResult {
 std::vector<PortfolioEntry> default_portfolio(Objective objective,
                                               const OptimizerOptions& base = {});
 
-/// Run all entries concurrently; first finisher interrupts the rest. The
-/// winning result is verified-equivalent to running that entry alone.
+/// Run all entries concurrently on one shared ClauseExchange; the first
+/// complete finisher interrupts the rest, and the best answer among all
+/// entries that completed within that grace window is returned (objective
+/// value first, wall-clock as tie-break).
 PortfolioResult synthesize_portfolio(const Problem& problem,
                                      Objective objective,
                                      std::vector<PortfolioEntry> entries);

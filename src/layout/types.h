@@ -36,10 +36,13 @@ struct SwapOp {
 struct SolveCall {
   int depth_bound = -1;  // assumed depth bound (block bound for TB); -1 none
   int swap_bound = -1;   // assumed SWAP bound; -1 none
-  char status = '?';     // 'S' = SAT, 'U' = UNSAT, '?' = budget expired
+  char status = '?';     // 'S' = SAT, 'U' = UNSAT, '?' = budget expired,
+                         // 'P' = pruned by a shared bound fact (no SAT call)
   std::uint64_t conflicts = 0;     // conflicts delta for this call
   std::uint64_t propagations = 0;  // propagations delta for this call
   std::uint64_t decisions = 0;     // decisions delta for this call
+  std::uint64_t imported = 0;      // clauses adopted from the exchange
+  std::uint64_t exported = 0;      // clauses shared with the exchange
   double wall_ms = 0.0;
 };
 
@@ -120,6 +123,24 @@ struct OptimizerOptions {
   /// Optional externally-owned cancellation flag (portfolio solving). When
   /// it turns true, the optimizer unwinds as if its budget expired.
   const std::atomic<bool>* cancel = nullptr;
+  /// Concurrent speculative bound probes inside the optimizer loops (1 =
+  /// the classic sequential relax-then-decrement chain). Each probe owns a
+  /// cloned model; SAT/UNSAT monotonicity (§III-B) reconciles the results
+  /// of every round, so the optimum is identical to the sequential path.
+  int parallel_probes = 1;
+  /// VSIDS tie-breaking jitter seed (0 = none). Distinct seeds diversify
+  /// portfolio entries; a fixed seed reproduces a run exactly.
+  std::uint64_t seed = 0;
+  /// Reproducibility mode: the solver never adopts foreign clauses (their
+  /// arrival timing is scheduler-dependent), removing run-to-run
+  /// nondeterminism in the search. Bound facts still flow - they can only
+  /// skip SAT calls whose answer is already proven, never change optima.
+  bool deterministic = false;
+  /// Cooperative sharing hub (learnt clauses + objective-bound facts)
+  /// connecting portfolio strategies and speculative probes. Owned by the
+  /// caller; nullptr = no sharing. synthesize_portfolio installs one
+  /// automatically; standalone parallel_probes runs create a private hub.
+  sat::ClauseExchange* exchange = nullptr;
 };
 
 }  // namespace olsq2::layout

@@ -8,6 +8,7 @@
 
 #include "obs/obs.h"
 #include "sat/clause_data.h"
+#include "sat/exchange.h"
 #include "sat/luby.h"
 
 namespace olsq2::sat {
@@ -309,6 +310,92 @@ Lit Solver::pick_branch_lit() {
 
 void Solver::set_polarity(Var v, bool value) { polarity_[v] = value; }
 
+void Solver::set_exchange(ClauseExchange* exchange, const std::string& group) {
+  exchange_ = exchange;
+  exchange_id_ = exchange == nullptr ? -1 : exchange->add_solver(group);
+  exchange_seen_ = 0;
+}
+
+void Solver::set_vsids_seed(std::uint64_t seed) {
+  if (seed == 0) return;
+  for (Var v = 0; v < num_vars(); ++v) {
+    // splitmix64 over (seed, v); jitter far below one activity bump so the
+    // perturbation only ever breaks ties.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(v) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    activity_[v] += static_cast<double>(z % 1000003) * 1e-12;
+  }
+  order_heap_.rebuild();
+}
+
+void Solver::export_learnt(std::span<const Lit> lits, unsigned lbd) {
+  if (exchange_ == nullptr || lits.empty()) return;
+  if (exchange_->publish(exchange_id_, lits, lbd)) {
+    stats_.exported_clauses++;
+  } else {
+    stats_.filtered_exports++;
+  }
+}
+
+void Solver::import_clause(std::span<const Lit> lits, unsigned lbd) {
+  // Runs at decision level 0. Mirrors add_clause's normalization, but the
+  // result is stored as a learnt clause (evictable by reduce_db) and is
+  // never proof-logged - import is disabled while a proof is attached.
+  assert(decision_level() == 0);
+  import_scratch_.assign(lits.begin(), lits.end());
+  auto& c = import_scratch_;
+  std::sort(c.begin(), c.end());
+  std::size_t out = 0;
+  Lit prev = kUndefLit;
+  for (const Lit l : c) {
+    if (l.var() < 0 || l.var() >= num_vars()) return;  // foreign numbering
+    if (value(l) == LBool::kTrue || l == ~prev) return;  // satisfied / taut
+    if (value(l) == LBool::kFalse || l == prev) continue;
+    c[out++] = l;
+    prev = l;
+  }
+  c.resize(out);
+  if (c.empty()) {
+    ok_ = false;
+    return;
+  }
+  stats_.imported_clauses++;
+  if (c.size() == 1) {
+    enqueue(c[0], nullptr);  // propagated by the caller
+    return;
+  }
+  auto clause = std::make_unique<ClauseData>();
+  clause->lits = c;
+  clause->learnt = true;
+  clause->lbd = std::max(1u, std::min(lbd, static_cast<unsigned>(c.size())));
+  attach(clause.get());
+  learnts_.push_back(std::move(clause));
+  if (c.size() == 2) stats_.binary_clauses++;
+}
+
+bool Solver::import_shared() {
+  if (exchange_ == nullptr || proof_ != nullptr || !ok_) return ok_;
+  if (decision_level() != 0) return ok_;
+  // Generation-stamped fast path: no lock taken while nothing new exists.
+  const std::uint64_t frontier = exchange_->frontier();
+  if (frontier == exchange_seen_) return ok_;
+  exchange_seen_ = frontier;
+  obs::Span span("sat.exchange_import");
+  const std::uint64_t before = stats_.imported_clauses;
+  exchange_->collect(exchange_id_,
+                     [this](std::span<const Lit> lits, unsigned lbd) {
+                       if (ok_) import_clause(lits, lbd);
+                     });
+  if (ok_ && propagate() != nullptr) ok_ = false;  // imported units conflict
+  if (span.live()) {
+    span.arg("imported", stats_.imported_clauses - before);
+  }
+  audit_invariants("exchange-import");
+  return ok_;
+}
+
 void Solver::analyze_final(Lit failed_assumption) {
   // The negation of `failed_assumption` holds in the current trail; walk
   // its implication ancestry and collect every *decision* (= assumption)
@@ -419,6 +506,7 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
       cancel_until(bt_level);
       note_learnt_lbd(lbd);
       if (proof_ != nullptr) proof_->add(learnt);
+      export_learnt(learnt, lbd);
       if (learnt.size() == 1) {
         enqueue(learnt[0], nullptr);
       } else {
@@ -448,6 +536,12 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
           obs::counter("sat.learnts", static_cast<double>(learnts_.size()));
           obs::counter("sat.propagations",
                        static_cast<double>(stats_.propagations));
+          if (exchange_ != nullptr) {
+            obs::counter("sat.exchange.exported",
+                         static_cast<double>(stats_.exported_clauses));
+            obs::counter("sat.exchange.imported",
+                         static_cast<double>(stats_.imported_clauses));
+          }
         }
         if (budget_exhausted()) return LBool::kUndef;
         // Backtrack-boundary audit, sampled on the same cadence as the
@@ -573,6 +667,12 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   std::uint64_t restart_round = 0;
   while (status == LBool::kUndef) {
     if (budget_exhausted()) break;
+    // Restart boundary (and solve entry): adopt clauses learnt by portfolio
+    // peers. The trail is at level 0 here, so watches attach cleanly.
+    if (!import_shared()) {
+      status = LBool::kFalse;
+      break;
+    }
     if (restart_policy_ == RestartPolicy::kAlternating) {
       if (stats_.conflicts >= next_mode_switch_) {
         effective_policy_ = effective_policy_ == RestartPolicy::kGlucose
@@ -606,6 +706,10 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
     span.arg("propagations", delta.propagations);
     span.arg("restarts", delta.restarts);
     span.arg("propagate_ms", static_cast<double>(propagate_ns_) / 1e6);
+    if (exchange_ != nullptr) {
+      span.arg("exported", delta.exported_clauses);
+      span.arg("imported", delta.imported_clauses);
+    }
   }
   trace_live_ = false;
   return status;

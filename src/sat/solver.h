@@ -28,6 +28,8 @@
 
 namespace olsq2::sat {
 
+class ClauseExchange;
+
 class Solver {
  public:
   Solver();
@@ -89,6 +91,21 @@ class Solver {
   /// Suggest an initial polarity for a variable (domain-guided search,
   /// cf. the paper's future-work discussion on heuristic guidance).
   void set_polarity(Var v, bool value);
+
+  /// Attach this solver to a cooperative clause exchange under sharing
+  /// group `group` (see ClauseExchange for the group contract: identical
+  /// CNF variable numbering). Learnt clauses passing the hub's filter are
+  /// exported as they are derived; foreign clauses are imported at restart
+  /// boundaries (quiescent, decision level 0, watches rebuilt correctly).
+  /// Pass nullptr to detach. Import is disabled while a DRAT proof is
+  /// attached - foreign clauses are not derivable in this solver's proof.
+  void set_exchange(ClauseExchange* exchange, const std::string& group = "");
+
+  /// Deterministically jitter VSIDS activities (splitmix64 keyed by
+  /// `seed`), diversifying decision tie-breaking per portfolio entry while
+  /// staying reproducible run-to-run. Applies to variables that exist now;
+  /// call after the formula is built. Seed 0 is a no-op.
+  void set_vsids_seed(std::uint64_t seed);
 
   /// Restart strategy. kGlucose restarts when the recent learnt-clause LBD
   /// average degrades relative to the lifetime average, with trail-size
@@ -189,6 +206,14 @@ class Solver {
   void reset_recent_lbds();
   bool glucose_restart_due() const;
   void analyze_final(Lit failed_assumption);
+  /// Export a freshly learnt clause to the exchange (no-op when detached).
+  void export_learnt(std::span<const Lit> lits, unsigned lbd);
+  /// Adopt foreign clauses from the exchange. Must be called at decision
+  /// level 0. Returns false when an imported unit closes the formula
+  /// (ok_ flips to false).
+  bool import_shared();
+  /// Add one foreign clause at root level with watch/level handling.
+  void import_clause(std::span<const Lit> lits, unsigned lbd);
   /// Invariant-auditing hook: no-op unless enabled; throws std::logic_error
   /// (tagged with `where`) when a check fails.
   void audit_invariants(const char* where) const;
@@ -258,6 +283,12 @@ class Solver {
 
   std::atomic<bool> interrupted_{false};
   const std::atomic<bool>* external_interrupt_ = nullptr;
+
+  // Cooperative clause sharing (portfolio solving).
+  ClauseExchange* exchange_ = nullptr;
+  int exchange_id_ = -1;
+  std::uint64_t exchange_seen_ = 0;  // hub generation stamp at last import
+  std::vector<Lit> import_scratch_;
 
   std::vector<Lit> assumptions_;
   std::vector<LBool> model_;

@@ -22,6 +22,9 @@ struct Stats {
   std::uint64_t binary_clauses = 0;    // size-2 clauses added (original + learnt)
   std::uint64_t max_decision_level = 0;  // high-water mark, not monotone-delta
   std::uint64_t assumption_lits = 0;   // assumption literals across solve calls
+  std::uint64_t exported_clauses = 0;  // learnts accepted by the clause exchange
+  std::uint64_t imported_clauses = 0;  // foreign learnts adopted from the exchange
+  std::uint64_t filtered_exports = 0;  // learnts rejected by the exchange filter
 
   /// Delta between two snapshots: `after - before` subtracts every monotone
   /// counter member-wise; max_decision_level keeps the later (lhs) value
@@ -40,6 +43,9 @@ struct Stats {
     d.binary_clauses = binary_clauses - rhs.binary_clauses;
     d.max_decision_level = max_decision_level;
     d.assumption_lits = assumption_lits - rhs.assumption_lits;
+    d.exported_clauses = exported_clauses - rhs.exported_clauses;
+    d.imported_clauses = imported_clauses - rhs.imported_clauses;
+    d.filtered_exports = filtered_exports - rhs.filtered_exports;
     return d;
   }
 };

@@ -1,0 +1,240 @@
+// Tests for the learnt-clause / bound-fact exchange hub and its Solver
+// integration (export at learn time, import at restart boundaries).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/exchange.h"
+#include "sat/solver.h"
+
+namespace olsq2::sat {
+namespace {
+
+Lit L(int var) { return Lit::pos(var); }
+
+TEST(ClauseExchange, UnitsAndBinariesAlwaysPass) {
+  ClauseExchange::Options opt;
+  opt.max_lbd = 2;
+  opt.max_size = 3;
+  ClauseExchange ex(opt);
+  const int a = ex.add_solver("g");
+  const std::vector<Lit> unit = {L(0)};
+  const std::vector<Lit> binary = {L(1), ~L(2)};
+  EXPECT_TRUE(ex.publish(a, unit, /*lbd=*/99));
+  EXPECT_TRUE(ex.publish(a, binary, /*lbd=*/99));
+  EXPECT_EQ(ex.traffic().published, 2u);
+  EXPECT_EQ(ex.traffic().filtered, 0u);
+}
+
+TEST(ClauseExchange, FilterRejectsBigOrHighLbdClauses) {
+  ClauseExchange::Options opt;
+  opt.max_lbd = 3;
+  opt.max_size = 4;
+  ClauseExchange ex(opt);
+  const int a = ex.add_solver("g");
+  const std::vector<Lit> small_good = {L(0), L(1), L(2)};
+  const std::vector<Lit> too_long = {L(0), L(1), L(2), L(3), L(4)};
+  EXPECT_TRUE(ex.publish(a, small_good, /*lbd=*/3));
+  EXPECT_FALSE(ex.publish(a, small_good, /*lbd=*/4));  // LBD over threshold
+  EXPECT_FALSE(ex.publish(a, too_long, /*lbd=*/2));    // size over threshold
+  EXPECT_EQ(ex.traffic().published, 1u);
+  EXPECT_EQ(ex.traffic().filtered, 2u);
+}
+
+TEST(ClauseExchange, DeliversOnlyWithinGroupAndNeverToSelf) {
+  ClauseExchange ex;
+  const int a1 = ex.add_solver("groupA");
+  const int a2 = ex.add_solver("groupA");
+  const int b = ex.add_solver("groupB");
+  const std::vector<Lit> clause = {L(3), ~L(4)};
+  ASSERT_TRUE(ex.publish(a1, clause, 1));
+
+  std::size_t self = ex.collect(a1, [](auto, unsigned) {});
+  EXPECT_EQ(self, 0u);  // no self-delivery
+
+  std::vector<Lit> got;
+  std::size_t peer = ex.collect(a2, [&](std::span<const Lit> lits, unsigned) {
+    got.assign(lits.begin(), lits.end());
+  });
+  EXPECT_EQ(peer, 1u);
+  EXPECT_EQ(got, clause);
+
+  std::size_t foreign = ex.collect(b, [](auto, unsigned) {});
+  EXPECT_EQ(foreign, 0u);  // cross-group isolation
+
+  // The cursor advanced: a second collect delivers nothing.
+  EXPECT_EQ(ex.collect(a2, [](auto, unsigned) {}), 0u);
+  EXPECT_FALSE(ex.has_new(a2));
+}
+
+TEST(ClauseExchange, LateJoinerSkipsHistory) {
+  ClauseExchange ex;
+  const int a = ex.add_solver("g");
+  const std::vector<Lit> clause = {L(0), L(1)};
+  ASSERT_TRUE(ex.publish(a, clause, 1));
+  const int late = ex.add_solver("g");
+  EXPECT_FALSE(ex.has_new(late));
+  EXPECT_EQ(ex.collect(late, [](auto, unsigned) {}), 0u);
+}
+
+TEST(ClauseExchange, CapacityEvictionCountsDrops) {
+  ClauseExchange::Options opt;
+  opt.capacity = 4;
+  ClauseExchange ex(opt);
+  const int a = ex.add_solver("g");
+  const int b = ex.add_solver("g");
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<Lit> clause = {L(i), L(i + 1)};
+    ASSERT_TRUE(ex.publish(a, clause, 1));
+  }
+  EXPECT_EQ(ex.traffic().dropped, 6u);
+  // The slow importer only sees the retained tail.
+  EXPECT_EQ(ex.collect(b, [](auto, unsigned) {}), 4u);
+}
+
+TEST(ClauseExchange, DepthFactsAreMonotone) {
+  ClauseExchange ex;
+  EXPECT_EQ(ex.depth_unsat_max(), -1);
+  ex.note_depth_unsat(3);
+  ex.note_depth_unsat(7);
+  ex.note_depth_unsat(5);  // weaker fact, ignored
+  EXPECT_EQ(ex.depth_unsat_max(), 7);
+
+  ex.note_depth_sat(20);
+  ex.note_depth_sat(12);
+  ex.note_depth_sat(15);  // weaker fact, ignored
+  EXPECT_EQ(ex.depth_sat_min(), 12);
+  EXPECT_EQ(ex.traffic().bound_facts, 4u);
+}
+
+TEST(ClauseExchange, SwapFactsUseDominance) {
+  ClauseExchange ex;
+  EXPECT_FALSE(ex.swap_known_unsat(1, 1));
+  ex.note_swap_unsat(/*depth=*/5, /*swaps=*/2);
+  // (d' <= 5, k' <= 2) is refuted...
+  EXPECT_TRUE(ex.swap_known_unsat(5, 2));
+  EXPECT_TRUE(ex.swap_known_unsat(4, 1));
+  // ...but neither deeper nor swap-richer queries are.
+  EXPECT_FALSE(ex.swap_known_unsat(6, 2));
+  EXPECT_FALSE(ex.swap_known_unsat(5, 3));
+
+  // A dominated fact adds nothing; a dominating one subsumes.
+  ex.note_swap_unsat(4, 1);
+  EXPECT_EQ(ex.traffic().bound_facts, 1u);
+  ex.note_swap_unsat(6, 3);
+  EXPECT_TRUE(ex.swap_known_unsat(6, 3));
+  EXPECT_EQ(ex.traffic().bound_facts, 2u);
+}
+
+// ---- Solver integration -------------------------------------------------
+
+/// Pigeonhole principle CNF: `pigeons` pigeons into `holes` holes. UNSAT
+/// when pigeons > holes, and hard enough to force real clause learning.
+void add_php(Solver& s, int pigeons, int holes) {
+  const auto p = [&](int i, int j) { return L(i * holes + j); };
+  for (int v = 0; v < pigeons * holes; ++v) s.new_var();
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> some_hole;
+    for (int j = 0; j < holes; ++j) some_hole.push_back(p(i, j));
+    s.add_clause(some_hole);
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i1 = 0; i1 < pigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
+        s.add_clause({~p(i1, j), ~p(i2, j)});
+      }
+    }
+  }
+}
+
+TEST(SolverExchange, ImportedClausesAreImpliedAndPreserveUnsat) {
+  ClauseExchange::Options opt;
+  opt.max_lbd = 10;
+  opt.max_size = 50;
+  ClauseExchange ex(opt);
+
+  Solver a;
+  Solver b;
+  add_php(a, 6, 5);
+  add_php(b, 6, 5);
+  a.set_exchange(&ex, "php");
+  b.set_exchange(&ex, "php");
+
+  EXPECT_EQ(a.solve(), LBool::kFalse);
+  EXPECT_GT(a.stats().exported_clauses, 0u);
+
+  // B pulls A's learnt clauses at its first restart boundary. Every one is
+  // implied by the (identical) clause database, so the solver invariants
+  // hold and the answer is unchanged.
+  EXPECT_EQ(b.solve(), LBool::kFalse);
+  EXPECT_GT(b.stats().imported_clauses, 0u);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(b.check_invariants(&errors)) << (errors.empty() ? ""
+                                                              : errors[0]);
+}
+
+TEST(SolverExchange, ImportPreservesSatAnswers) {
+  ClauseExchange::Options opt;
+  opt.max_lbd = 10;
+  opt.max_size = 50;
+  ClauseExchange ex(opt);
+
+  Solver a;
+  Solver b;
+  // Satisfiable pigeonhole (as many holes as pigeons).
+  add_php(a, 5, 5);
+  add_php(b, 5, 5);
+  a.set_exchange(&ex, "php-sat");
+  b.set_exchange(&ex, "php-sat");
+
+  EXPECT_EQ(a.solve(), LBool::kTrue);
+  EXPECT_EQ(b.solve(), LBool::kTrue);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(b.check_invariants(&errors)) << (errors.empty() ? ""
+                                                              : errors[0]);
+}
+
+TEST(SolverExchange, OutOfRangeForeignVariablesAreRejected) {
+  ClauseExchange ex;
+  Solver big;
+  Solver small;
+  add_php(big, 6, 5);    // 30 variables
+  add_php(small, 3, 2);  // 6 variables
+  // Deliberately (mis)register both in one group to exercise the import
+  // guard; real callers derive the group from an encoding fingerprint.
+  big.set_exchange(&ex, "g");
+  small.set_exchange(&ex, "g");
+  EXPECT_EQ(big.solve(), LBool::kFalse);
+  EXPECT_EQ(small.solve(), LBool::kFalse);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(small.check_invariants(&errors)) << (errors.empty()
+                                                       ? ""
+                                                       : errors[0]);
+}
+
+TEST(SolverExchange, VsidsSeedZeroIsANoOp) {
+  Solver a;
+  Solver b;
+  add_php(a, 5, 5);
+  add_php(b, 5, 5);
+  a.set_vsids_seed(0);
+  b.set_vsids_seed(0);
+  EXPECT_EQ(a.solve(), LBool::kTrue);
+  EXPECT_EQ(b.solve(), LBool::kTrue);
+  EXPECT_EQ(a.stats().conflicts, b.stats().conflicts);
+  EXPECT_EQ(a.stats().decisions, b.stats().decisions);
+}
+
+TEST(SolverExchange, VsidsSeedIsReproducible) {
+  const auto run = [](std::uint64_t seed) {
+    Solver s;
+    add_php(s, 6, 5);
+    s.set_vsids_seed(seed);
+    EXPECT_EQ(s.solve(), LBool::kFalse);
+    return s.stats().decisions;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+}  // namespace
+}  // namespace olsq2::sat

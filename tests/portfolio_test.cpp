@@ -1,4 +1,6 @@
-// Tests for portfolio (parallel) synthesis.
+// Tests for portfolio (parallel) synthesis: the cooperative race with
+// clause/bound-fact sharing, deterministic mode, and speculative parallel
+// bound search.
 #include <gtest/gtest.h>
 
 #include "bengen/workloads.h"
@@ -6,9 +8,18 @@
 #include "layout/olsq2.h"
 #include "layout/portfolio.h"
 #include "layout/verifier.h"
+#include "qasm/parser.h"
 
 namespace olsq2::layout {
 namespace {
+
+#ifndef OLSQ2_BENCHMARK_DIR
+#error "OLSQ2_BENCHMARK_DIR must be defined by the build"
+#endif
+
+std::string corpus(const std::string& name) {
+  return std::string(OLSQ2_BENCHMARK_DIR) + "/" + name;
+}
 
 TEST(Portfolio, DefaultEntriesCoverBothObjectives) {
   const auto depth_entries = default_portfolio(Objective::kDepth);
@@ -71,6 +82,115 @@ TEST(Portfolio, TinyBudgetReportsBestPartial) {
     EXPECT_GE(r.winner, 0);
   } else {
     EXPECT_EQ(r.winner, -1);
+  }
+}
+
+TEST(Portfolio, RecordsPerEntryWallClockAndTraffic) {
+  const auto c = bengen::qaoa_3regular(6, 2);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  const PortfolioResult r = synthesize_portfolio(
+      problem, Objective::kSwap, default_portfolio(Objective::kSwap));
+  ASSERT_TRUE(r.best.solved);
+  for (const Result& entry : r.all) EXPECT_GT(entry.wall_ms, 0.0);
+  // Every strategy publishes at least its first SAT/UNSAT depth bound.
+  EXPECT_GT(r.traffic.bound_facts, 0u);
+}
+
+// Differential: the cooperating portfolio must land on exactly the optima
+// the sequential optimizer proves, on real QASM inputs (clause import and
+// bound-fact pruning must never change answers).
+TEST(Portfolio, SharingMatchesSequentialOnQasmCorpusDepth) {
+  const auto c = qasm::parse_file(corpus("toffoli_qx2.qasm"));
+  const auto dev = device::ibm_qx2();
+  const Problem problem{&c, &dev, 3};
+  const Result sequential = synthesize_depth_optimal(problem);
+  ASSERT_TRUE(sequential.solved);
+  const PortfolioResult portfolio = synthesize_portfolio(
+      problem, Objective::kDepth, default_portfolio(Objective::kDepth));
+  ASSERT_TRUE(portfolio.best.solved);
+  EXPECT_EQ(portfolio.best.depth, sequential.depth);
+  EXPECT_TRUE(verify(problem, portfolio.best).ok);
+}
+
+TEST(Portfolio, SharingMatchesSequentialOnQasmCorpusSwap) {
+  const auto c = qasm::parse_file(corpus("qaoa_triangle.qasm"));
+  const auto dev = device::grid(1, 4);
+  const Problem problem{&c, &dev, 2};
+  const Result sequential = synthesize_swap_optimal(problem);
+  ASSERT_TRUE(sequential.solved);
+  const PortfolioResult portfolio = synthesize_portfolio(
+      problem, Objective::kSwap, default_portfolio(Objective::kSwap));
+  ASSERT_TRUE(portfolio.best.solved);
+  EXPECT_EQ(portfolio.best.swap_count, sequential.swap_count);
+  EXPECT_TRUE(verify(problem, portfolio.best).ok);
+}
+
+// Deterministic mode: clause import is disabled (its timing depends on the
+// scheduler) but bound-fact sharing stays on; optima are identical across
+// repeated runs.
+TEST(Portfolio, DeterministicModeReproducesOptima) {
+  const auto c = bengen::qaoa_3regular(6, 3);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  OptimizerOptions base;
+  base.deterministic = true;
+  base.seed = 7;
+  int depth = -1;
+  for (int run = 0; run < 3; ++run) {
+    const PortfolioResult r = synthesize_portfolio(
+        problem, Objective::kDepth, default_portfolio(Objective::kDepth, base));
+    ASSERT_TRUE(r.best.solved);
+    if (run == 0) {
+      depth = r.best.depth;
+    } else {
+      EXPECT_EQ(r.best.depth, depth);
+    }
+  }
+}
+
+// Speculative parallel bound search must return the sequential optimum
+// (monotone reconciliation of concurrent probes).
+TEST(ParallelProbes, DepthMatchesSequential) {
+  const auto c = bengen::qaoa_3regular(6, 4);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  const Result sequential = synthesize_depth_optimal(problem);
+  ASSERT_TRUE(sequential.solved);
+  OptimizerOptions options;
+  options.parallel_probes = 3;
+  const Result parallel = synthesize_depth_optimal(problem, {}, options);
+  ASSERT_TRUE(parallel.solved);
+  EXPECT_EQ(parallel.depth, sequential.depth);
+  EXPECT_TRUE(verify(problem, parallel).ok);
+}
+
+TEST(ParallelProbes, SwapMatchesSequential) {
+  const auto c = bengen::qaoa_3regular(6, 2);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  const Result sequential = synthesize_swap_optimal(problem);
+  ASSERT_TRUE(sequential.solved);
+  OptimizerOptions options;
+  options.parallel_probes = 2;
+  const Result parallel = synthesize_swap_optimal(problem, {}, options);
+  ASSERT_TRUE(parallel.solved);
+  EXPECT_EQ(parallel.swap_count, sequential.swap_count);
+  EXPECT_TRUE(verify(problem, parallel).ok);
+}
+
+TEST(ParallelProbes, RecordsPrunedAndProbeCalls) {
+  const auto c = bengen::qaoa_3regular(6, 4);
+  const auto dev = device::grid(2, 3);
+  const Problem problem{&c, &dev, 1};
+  OptimizerOptions options;
+  options.parallel_probes = 3;
+  const Result r = synthesize_depth_optimal(problem, {}, options);
+  ASSERT_TRUE(r.solved);
+  EXPECT_FALSE(r.calls.empty());
+  for (const SolveCall& call : r.calls) {
+    EXPECT_TRUE(call.status == 'S' || call.status == 'U' ||
+                call.status == 'P' || call.status == '?');
   }
 }
 
