@@ -37,4 +37,36 @@ std::vector<std::pair<int, int>> random_regular_graph(int n, int d, Rng& rng) {
   throw std::runtime_error("random_regular_graph: rejection limit exceeded");
 }
 
+std::vector<std::pair<int, int>> random_connected_graph(int n, int extra_edges,
+                                                        Rng& rng) {
+  assert(n >= 1);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+
+  std::set<std::pair<int, int>> seen;
+  std::vector<std::pair<int, int>> edges;
+  const auto add = [&](int a, int b) {
+    if (a > b) std::swap(a, b);
+    if (a == b || !seen.insert({a, b}).second) return false;
+    edges.emplace_back(a, b);
+    return true;
+  };
+  // Spanning tree: attach each vertex to a uniformly-chosen earlier one.
+  for (int i = 1; i < n; ++i) add(order[rng.below_int(i)], order[i]);
+  // Densify with distinct random edges; give up quietly once the graph is
+  // too dense for the request (complete graph or rejection streak).
+  int added = 0;
+  int stall = 0;
+  while (added < extra_edges && stall < 64) {
+    if (add(rng.below_int(n), rng.below_int(n))) {
+      added++;
+      stall = 0;
+    } else {
+      stall++;
+    }
+  }
+  return edges;
+}
+
 }  // namespace olsq2::bengen

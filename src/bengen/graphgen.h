@@ -14,4 +14,12 @@ namespace olsq2::bengen {
 /// d < n.
 std::vector<std::pair<int, int>> random_regular_graph(int n, int d, Rng& rng);
 
+/// Random connected graph on n vertices: a uniformly-labeled random spanning
+/// tree (random attachment over a shuffled vertex order) plus up to
+/// `extra_edges` additional distinct random edges. The fuzzing harness uses
+/// this to sample coupling graphs no device preset covers; connectivity is
+/// guaranteed by construction.
+std::vector<std::pair<int, int>> random_connected_graph(int n, int extra_edges,
+                                                        Rng& rng);
+
 }  // namespace olsq2::bengen

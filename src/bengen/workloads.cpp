@@ -15,7 +15,10 @@ Circuit qaoa_3regular(int n, std::uint64_t seed) {
   Rng rng(seed);
   const auto edges = random_regular_graph(n, 3, rng);
   Circuit c(n, "QAOA");
-  for (const auto& [u, v] : edges) c.add_gate("zz", u, v);
+  // "rzz" with an explicit angle (not the bare "zz" shorthand) so the
+  // generated circuit is standard OpenQASM and round-trips exactly through
+  // qasm::write / qasm::parse.
+  for (const auto& [u, v] : edges) c.add_gate("rzz", u, v, "0.7");
   return c;
 }
 

@@ -38,6 +38,10 @@ class Circuit {
   /// Short "name(q/g)" label used in result tables, e.g. "QAOA(16/24)".
   std::string label() const;
 
+  /// Structural equality (name, qubit count, and full gate list) - the
+  /// round-trip contract for the QASM writer/parser pair.
+  bool operator==(const Circuit&) const = default;
+
  private:
   std::string name_ = "circuit";
   int num_qubits_ = 0;

@@ -19,6 +19,8 @@ struct Gate {
   bool is_two_qubit() const { return q1 >= 0; }
 
   bool acts_on(int q) const { return q == q0 || (q1 >= 0 && q == q1); }
+
+  bool operator==(const Gate&) const = default;
 };
 
 }  // namespace olsq2::circuit

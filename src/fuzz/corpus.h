@@ -1,0 +1,49 @@
+// Self-contained on-disk repro cases: <name>.qasm + <name>.device.json.
+//
+// Every fuzzer-discovered failure is persisted as a pair of files under
+// tests/corpus/ that fully determine the instance: the circuit as standard
+// OpenQASM (round-trippable through qasm/), and the device topology plus
+// SWAP duration as a tiny dependency-free JSON document:
+//   {"name": "fuzzdev", "qubits": 4, "swap_duration": 1,
+//    "edges": [[0,1],[1,2],[2,3]]}
+// corpus_test replays each committed case through the full encoding matrix
+// and the verifier, so a once-found bug can never silently return.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+
+namespace olsq2::fuzz {
+
+/// Serialize a device (+ the instance's SWAP duration) as JSON.
+std::string device_to_json(const device::Device& device, int swap_duration);
+
+struct DeviceSpec {
+  device::Device device;
+  int swap_duration = 1;
+};
+
+/// Parse the JSON produced by device_to_json. Throws std::runtime_error on
+/// malformed input.
+DeviceSpec device_from_json(std::string_view json);
+
+/// Write `<dir>/<name>.qasm` and `<dir>/<name>.device.json` (creating the
+/// directory if needed). Returns the two paths written.
+std::pair<std::string, std::string> save_case(const std::string& dir,
+                                              const std::string& name,
+                                              const Instance& instance);
+
+/// Load a case from its two files.
+Instance load_case(const std::string& qasm_path,
+                   const std::string& device_json_path);
+
+/// Case names in `dir` that have both files, sorted (empty when the
+/// directory does not exist).
+std::vector<std::string> list_cases(const std::string& dir);
+
+/// Convenience: load every case list_cases finds.
+std::vector<Instance> load_all_cases(const std::string& dir);
+
+}  // namespace olsq2::fuzz

@@ -1,0 +1,120 @@
+#include "fuzz/fuzzer.h"
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "fuzz/corpus.h"
+#include "fuzz/reduce.h"
+
+namespace olsq2::fuzz {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Re-run the oracle that originally failed; ignore the other oracles so the
+/// reducer homes in on one bug instead of chasing whichever fires first.
+FailurePredicate predicate_for(const std::string& oracle,
+                               std::uint64_t instance_seed) {
+  if (oracle == "encoding_differential") {
+    return [](const Instance& c) { return !check_encoding_differential(c).ok; };
+  }
+  if (oracle == "engine_differential") {
+    return [](const Instance& c) { return !check_engine_differential(c).ok; };
+  }
+  return [instance_seed](const Instance& c) {
+    return !check_metamorphic(c, instance_seed).ok;
+  };
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  if (options.seconds <= 0.0 && options.iterations <= 0) return report;
+
+  const auto start = std::chrono::steady_clock::now();
+  int failure_index = 0;
+  for (int i = 0;; ++i) {
+    if (options.iterations > 0 && i >= options.iterations) break;
+    if (options.seconds > 0.0 && seconds_since(start) >= options.seconds) break;
+    report.iterations = i + 1;
+
+    const std::uint64_t instance_seed = derive_seed(options.seed, i);
+    OracleReport result;
+    std::optional<Instance> instance;
+
+    // Every 4th iteration exercises the raw SAT core (CDCL vs DPLL + DRAT);
+    // the rest fuzz full layout instances through the oracle chain.
+    if (i % 4 == 3) {
+      report.sat_core_checks++;
+      result = check_sat_core(instance_seed);
+    } else {
+      report.instance_checks++;
+      instance = random_instance(instance_seed, options.gen);
+      result = check_instance(*instance, instance_seed);
+    }
+
+    if (options.verbose) {
+      std::cerr << "[fuzz] iter=" << i << " seed=" << instance_seed
+                << " oracle=" << (result.oracle.empty() ? "-" : result.oracle)
+                << " ok=" << (result.ok ? 1 : 0) << "\n";
+    }
+    if (result.ok) continue;
+
+    FuzzFailure failure;
+    failure.base_seed = options.seed;
+    failure.iteration = i;
+    failure.instance_seed = instance_seed;
+    failure.oracle = result.oracle;
+    failure.errors = result.errors;
+
+    if (instance && options.reduce_failures) {
+      ReduceResult reduced = reduce(
+          *instance, predicate_for(result.oracle, instance_seed), {});
+      failure.reduce_calls = reduced.predicate_calls;
+      if (reduced.input_failed) failure.reduced = std::move(reduced.instance);
+    }
+    if (!options.corpus_dir.empty() && (failure.reduced || instance)) {
+      std::ostringstream name;
+      name << "fuzz_" << options.seed << "_" << i << "_" << result.oracle;
+      auto [qasm_path, json_path] =
+          save_case(options.corpus_dir, name.str(),
+                    failure.reduced ? *failure.reduced : *instance);
+      failure.saved_paths = {qasm_path, json_path};
+    }
+    report.failures.push_back(std::move(failure));
+    failure_index++;
+    if (options.stop_on_failure) break;
+  }
+  report.elapsed_seconds = seconds_since(start);
+  return report;
+}
+
+std::string format_report(const FuzzReport& report) {
+  std::ostringstream out;
+  out << "fuzz: " << report.iterations << " iterations ("
+      << report.instance_checks << " instance, " << report.sat_core_checks
+      << " sat-core) in " << report.elapsed_seconds << "s, "
+      << report.failures.size() << " failure(s)\n";
+  for (const FuzzFailure& f : report.failures) {
+    out << "FAILURE oracle=" << f.oracle << " replay: olsq2_fuzz --seed "
+        << f.base_seed << " --iterations " << (f.iteration + 1) << "\n";
+    for (const std::string& e : f.errors) out << "  " << e << "\n";
+    if (f.reduced) {
+      out << "  reduced to " << f.reduced->circuit.num_gates() << " gate(s), "
+          << f.reduced->circuit.num_qubits() << " program / "
+          << f.reduced->device.num_qubits() << " physical qubit(s) ("
+          << f.reduce_calls << " predicate calls)\n";
+    }
+    for (const std::string& p : f.saved_paths) out << "  wrote " << p << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace olsq2::fuzz

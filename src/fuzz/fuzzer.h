@@ -1,0 +1,66 @@
+// The fuzzing driver: seeded instance stream -> oracles -> reducer -> corpus.
+//
+// Every iteration derives an independent seed from the base seed and the
+// iteration index (derive_seed), so any failure is reproducible from the
+// pair printed in the report: `olsq2_fuzz --seed <base> --iterations <i+1>`
+// replays it, and the reduced repro is also written to the corpus directory
+// as a self-contained QASM + device JSON pair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+
+namespace olsq2::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  /// Wall-clock budget; 0 = no time limit.
+  double seconds = 0.0;
+  /// Iteration cap; 0 = no cap. At least one of seconds/iterations must be
+  /// positive or run_fuzz returns immediately.
+  int iterations = 0;
+  /// Where reduced repros are written; empty = don't persist.
+  std::string corpus_dir;
+  bool reduce_failures = true;
+  /// Stop after the first failure instead of continuing the stream.
+  bool stop_on_failure = false;
+  GeneratorOptions gen;
+  /// Print one line per iteration to stderr.
+  bool verbose = false;
+};
+
+struct FuzzFailure {
+  std::uint64_t base_seed = 0;
+  int iteration = 0;
+  std::uint64_t instance_seed = 0;
+  std::string oracle;
+  std::vector<std::string> errors;
+  /// Present when the reducer ran and confirmed the failure.
+  std::optional<Instance> reduced;
+  int reduce_calls = 0;
+  /// Paths written by save_case (empty when corpus_dir was empty).
+  std::vector<std::string> saved_paths;
+};
+
+struct FuzzReport {
+  int iterations = 0;
+  int instance_checks = 0;
+  int sat_core_checks = 0;
+  double elapsed_seconds = 0.0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Human-readable multi-line summary of a report (stable format, used by
+/// the CLI and tests).
+std::string format_report(const FuzzReport& report);
+
+}  // namespace olsq2::fuzz

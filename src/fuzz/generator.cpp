@@ -1,0 +1,110 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bengen/graphgen.h"
+
+namespace olsq2::fuzz {
+
+namespace {
+
+struct GateTemplate {
+  const char* name;
+  bool two_qubit;
+  const char* params;  // "" = none
+};
+
+// Every entry round-trips exactly through qasm::write / qasm::parse (plain
+// identifier names, parenthesized parameter text with no whitespace).
+constexpr GateTemplate kPalette[] = {
+    {"h", false, ""},        {"x", false, ""},       {"t", false, ""},
+    {"tdg", false, ""},      {"s", false, ""},       {"sdg", false, ""},
+    {"rz", false, "pi/4"},   {"rz", false, "0.35"},  {"cx", true, ""},
+    {"cz", true, ""},        {"rzz", true, "0.7"},
+};
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 over the (base, index) pair: independent per-iteration seeds.
+  std::uint64_t x = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+circuit::Circuit random_circuit(int num_qubits, int num_gates,
+                                bengen::Rng& rng) {
+  circuit::Circuit c(num_qubits, "fuzz");
+  std::vector<const GateTemplate*> singles;
+  std::vector<const GateTemplate*> doubles;
+  for (const GateTemplate& g : kPalette) {
+    (g.two_qubit ? doubles : singles).push_back(&g);
+  }
+  for (int i = 0; i < num_gates; ++i) {
+    const bool two = num_qubits >= 2 && rng.chance(0.65);
+    if (two) {
+      const GateTemplate& g = *doubles[rng.below_int(static_cast<int>(doubles.size()))];
+      const int q0 = rng.below_int(num_qubits);
+      int q1 = rng.below_int(num_qubits - 1);
+      if (q1 >= q0) q1++;
+      c.add_gate(g.name, q0, q1, g.params);
+    } else {
+      const GateTemplate& g = *singles[rng.below_int(static_cast<int>(singles.size()))];
+      c.add_gate(g.name, rng.below_int(num_qubits), g.params);
+    }
+  }
+  return c;
+}
+
+device::Device random_device(int num_qubits, int extra_edges,
+                             bengen::Rng& rng) {
+  const auto raw = bengen::random_connected_graph(num_qubits, extra_edges, rng);
+  std::vector<device::Edge> edges;
+  edges.reserve(raw.size());
+  for (const auto& [a, b] : raw) edges.push_back({a, b});
+  return device::Device("fuzzdev", num_qubits, std::move(edges));
+}
+
+Instance random_instance(std::uint64_t seed, const GeneratorOptions& options) {
+  bengen::Rng rng(seed);
+  const int qubits =
+      options.min_qubits +
+      rng.below_int(options.max_qubits - options.min_qubits + 1);
+  const int spare = rng.below_int(options.max_spare_qubits + 1);
+  const int gates =
+      options.min_gates + rng.below_int(options.max_gates - options.min_gates + 1);
+  const int extra_edges = rng.below_int(options.max_extra_edges + 1);
+  const int swap_duration =
+      options.swap_duration_one_only || rng.chance(0.7) ? 1 : 3;
+
+  device::Device dev = random_device(qubits + spare, extra_edges, rng);
+  circuit::Circuit circ = random_circuit(qubits, gates, rng);
+  return Instance{std::move(circ), std::move(dev), swap_duration, seed};
+}
+
+sat::DimacsProblem random_cnf(std::uint64_t seed,
+                              const RandomCnfOptions& options) {
+  bengen::Rng rng(seed);
+  sat::DimacsProblem problem;
+  problem.num_vars =
+      options.min_vars + rng.below_int(options.max_vars - options.min_vars + 1);
+  const int num_clauses = std::max(
+      1, static_cast<int>(options.clause_ratio * problem.num_vars + 0.5));
+  for (int i = 0; i < num_clauses; ++i) {
+    const int len = 1 + rng.below_int(options.max_clause_len);
+    sat::Clause clause;
+    for (int k = 0; k < len; ++k) {
+      const sat::Var v = rng.below_int(problem.num_vars);
+      clause.push_back(sat::Lit(v, rng.chance(0.5)));
+    }
+    // Duplicate literals and tautologies are legal inputs by design: the
+    // solver's normalization path is part of what the fuzz target covers.
+    problem.clauses.push_back(std::move(clause));
+  }
+  return problem;
+}
+
+}  // namespace olsq2::fuzz

@@ -1,0 +1,80 @@
+// Random problem-instance generation for the fuzzing harness.
+//
+// Three input families, all reproducible from a single seed:
+//   - random connected coupling graphs (bengen::random_connected_graph),
+//   - random circuits drawn from a QASM-roundtrippable gate palette, so any
+//     discovered failure can be persisted as a self-contained .qasm repro,
+//   - random CNF for differential-testing the CDCL core against a reference
+//     DPLL solver.
+// Instances are deliberately tiny: every oracle runs *exact* synthesis, and
+// the point of fuzzing is input diversity, not instance difficulty.
+#pragma once
+
+#include <cstdint>
+
+#include "bengen/rng.h"
+#include "circuit/circuit.h"
+#include "device/device.h"
+#include "layout/types.h"
+#include "sat/dimacs.h"
+
+namespace olsq2::fuzz {
+
+/// A self-owned layout synthesis instance (layout::Problem holds borrowed
+/// pointers; the fuzzer needs values it can store, mutate, and persist).
+struct Instance {
+  circuit::Circuit circuit;
+  device::Device device;
+  int swap_duration = 1;
+  /// Seed this instance was generated from (0 for loaded/derived instances).
+  std::uint64_t seed = 0;
+
+  /// Borrowing view for the synthesis entry points. The returned Problem is
+  /// only valid while this Instance stays alive and unmoved.
+  layout::Problem problem() const {
+    return layout::Problem{&circuit, &device, swap_duration};
+  }
+};
+
+struct GeneratorOptions {
+  int min_qubits = 2;    // program qubits
+  int max_qubits = 5;
+  int max_spare_qubits = 2;  // device qubits beyond the program's need
+  int min_gates = 1;
+  int max_gates = 10;
+  double two_qubit_fraction = 0.65;
+  int max_extra_edges = 3;  // device edges beyond the spanning tree
+  /// Restrict to SWAP duration 1 (some metamorphic relations are only exact
+  /// there); otherwise S_D is drawn from {1, 3}.
+  bool swap_duration_one_only = false;
+};
+
+/// Random circuit over the roundtrippable gate palette. Every qubit that the
+/// gate count allows is touched at least once so reduced repros stay tidy.
+circuit::Circuit random_circuit(int num_qubits, int num_gates,
+                                bengen::Rng& rng);
+
+/// Random connected device on `num_qubits` physical qubits.
+device::Device random_device(int num_qubits, int extra_edges,
+                             bengen::Rng& rng);
+
+/// Full random instance: device, circuit, and SWAP duration from one seed.
+Instance random_instance(std::uint64_t seed, const GeneratorOptions& options = {});
+
+struct RandomCnfOptions {
+  int min_vars = 3;
+  int max_vars = 10;
+  /// Clause/variable ratio; ~4.3 sits at the 3-SAT phase transition, giving
+  /// a healthy SAT/UNSAT mix.
+  double clause_ratio = 4.3;
+  int max_clause_len = 3;
+};
+
+/// Random CNF instance (for the CDCL-vs-DPLL differential oracle).
+sat::DimacsProblem random_cnf(std::uint64_t seed,
+                              const RandomCnfOptions& options = {});
+
+/// Deterministic seed stream: the i-th derived seed of a base seed.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace olsq2::fuzz

@@ -1,0 +1,91 @@
+#include "fuzz/metamorphic.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace olsq2::fuzz {
+
+namespace {
+
+std::vector<int> random_permutation(int n, bengen::Rng& rng) {
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  rng.shuffle(perm);
+  return perm;
+}
+
+circuit::Circuit with_gates(const Instance& base,
+                            const std::vector<circuit::Gate>& gates,
+                            const std::string& suffix) {
+  circuit::Circuit c(base.circuit.num_qubits(), base.circuit.name() + suffix);
+  for (const circuit::Gate& g : gates) {
+    if (g.is_two_qubit()) {
+      c.add_gate(g.name, g.q0, g.q1, g.params);
+    } else {
+      c.add_gate(g.name, g.q0, g.params);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Instance relabel_program_qubits(const Instance& base, bengen::Rng& rng) {
+  const auto perm = random_permutation(base.circuit.num_qubits(), rng);
+  std::vector<circuit::Gate> gates = base.circuit.gates();
+  for (circuit::Gate& g : gates) {
+    g.q0 = perm[g.q0];
+    if (g.q1 >= 0) g.q1 = perm[g.q1];
+  }
+  return Instance{with_gates(base, gates, "+relabel"), base.device,
+                  base.swap_duration, base.seed};
+}
+
+Instance relabel_physical_qubits(const Instance& base, bengen::Rng& rng) {
+  const auto perm = random_permutation(base.device.num_qubits(), rng);
+  std::vector<device::Edge> edges = base.device.edges();
+  for (device::Edge& e : edges) {
+    e.p0 = perm[e.p0];
+    e.p1 = perm[e.p1];
+  }
+  return Instance{base.circuit,
+                  device::Device(base.device.name() + "+perm",
+                                 base.device.num_qubits(), std::move(edges)),
+                  base.swap_duration, base.seed};
+}
+
+Instance commuting_reorder(const Instance& base, bengen::Rng& rng) {
+  std::vector<circuit::Gate> gates = base.circuit.gates();
+  const int n = static_cast<int>(gates.size());
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i + 1 < n; ++i) {
+      const circuit::Gate& a = gates[i];
+      const circuit::Gate& b = gates[i + 1];
+      const bool share = a.acts_on(b.q0) || (b.q1 >= 0 && a.acts_on(b.q1));
+      if (!share && rng.chance(0.5)) std::swap(gates[i], gates[i + 1]);
+    }
+  }
+  return Instance{with_gates(base, gates, "+commute"), base.device,
+                  base.swap_duration, base.seed};
+}
+
+Instance reverse_circuit(const Instance& base) {
+  std::vector<circuit::Gate> gates = base.circuit.gates();
+  std::reverse(gates.begin(), gates.end());
+  return Instance{with_gates(base, gates, "+reverse"), base.device,
+                  base.swap_duration, base.seed};
+}
+
+Instance pad_front_layer(const Instance& base) {
+  std::vector<circuit::Gate> gates;
+  gates.reserve(base.circuit.gates().size() + base.circuit.num_qubits());
+  for (int q = 0; q < base.circuit.num_qubits(); ++q) {
+    gates.push_back(circuit::Gate{"h", q, -1, ""});
+  }
+  for (const circuit::Gate& g : base.circuit.gates()) gates.push_back(g);
+  return Instance{with_gates(base, gates, "+pad"), base.device,
+                  base.swap_duration, base.seed};
+}
+
+}  // namespace olsq2::fuzz

@@ -1,0 +1,38 @@
+// Metamorphic transforms: instance rewrites with a known, exact effect on
+// the optimal objectives (Chen et al.'s metamorphic-testing idea applied to
+// layout synthesis). Each transform T comes with the relation the oracle
+// asserts:
+//   relabel_program_qubits  - optimal depth and SWAP count invariant
+//   relabel_physical_qubits - invariant (an isomorphic coupling graph)
+//   commuting_reorder       - invariant (the dependency DAG is unchanged)
+//   reverse_circuit         - invariant (time-reverse any valid schedule)
+//   pad_front_layer         - optimal depth increases by exactly 1, SWAP
+//                             count invariant (exact for S_D = 1; see the
+//                             restriction/shift argument in DESIGN.md §9)
+// A synthesis engine that treats two equivalent inputs differently has a
+// bug even when both outputs pass the verifier - this is how encoding-level
+// asymmetries that no hand-written test would hit get caught.
+#pragma once
+
+#include "bengen/rng.h"
+#include "fuzz/generator.h"
+
+namespace olsq2::fuzz {
+
+/// Apply a random permutation to the program qubit labels.
+Instance relabel_program_qubits(const Instance& base, bengen::Rng& rng);
+
+/// Apply a random permutation to the physical qubit labels (edges follow).
+Instance relabel_physical_qubits(const Instance& base, bengen::Rng& rng);
+
+/// Randomly swap adjacent gate pairs acting on disjoint qubits (repeated
+/// passes), preserving the dependency DAG.
+Instance commuting_reorder(const Instance& base, bengen::Rng& rng);
+
+/// Reverse the gate list (the mirror circuit).
+Instance reverse_circuit(const Instance& base);
+
+/// Prepend one single-qubit gate on every program qubit.
+Instance pad_front_layer(const Instance& base);
+
+}  // namespace olsq2::fuzz

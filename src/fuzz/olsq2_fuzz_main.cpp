@@ -1,0 +1,130 @@
+// olsq2_fuzz: randomized differential & metamorphic fuzzer for the whole
+// synthesis stack.
+//
+//   $ ./olsq2_fuzz [options]
+//     --seed N          base seed for the instance stream       (default 1)
+//     --seconds S       wall-clock budget; 0 = unlimited        (default 0)
+//     --iterations K    iteration cap; 0 = unlimited            (default 0)
+//     --out DIR         write reduced repros (QASM + device JSON) to DIR
+//     --no-reduce       skip delta-debugging of failures
+//     --stop-on-failure exit after the first failing oracle
+//     --verbose         one line per iteration on stderr
+//     --inject-bug      self-test: enable the deliberate encoding bug
+//                       (OLSQ2_FUZZ_INJECT_ENCODING_BUG) and require the
+//                       fuzzer to catch it and reduce it to <= 5 gates
+//
+// Both `--flag value` and `--flag=value` spellings are accepted. At least
+// one of --seconds/--iterations must be given (except with --inject-bug,
+// which supplies its own bounded loop). Any failure replays exactly from
+// the printed `--seed B --iterations I` pair. Exit code 0 iff no oracle
+// failed (with --inject-bug: iff the bug WAS caught and reduced).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+namespace {
+
+using namespace olsq2;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "olsq2_fuzz: " << message << "\n"
+            << "usage: olsq2_fuzz [--seed N] [--seconds S] [--iterations K]\n"
+            << "                  [--out DIR] [--no-reduce] [--stop-on-failure]\n"
+            << "                  [--verbose] [--inject-bug]\n";
+  std::exit(2);
+}
+
+/// Accepts `--flag=value` and `--flag value`; returns true (with `value`
+/// filled) when `arg` matches `flag`.
+bool flag_value(std::vector<std::string>& args, std::size_t& i,
+                const std::string& flag, std::string& value) {
+  const std::string& arg = args[i];
+  if (arg == flag) {
+    if (i + 1 >= args.size()) usage_error(flag + " needs a value");
+    value = args[++i];
+    return true;
+  }
+  if (arg.rfind(flag + "=", 0) == 0) {
+    value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+int run_inject_bug_selftest(fuzz::FuzzOptions options) {
+  // The bug only breaks pairwise injectivity between program qubits 0 and 1,
+  // so give every iteration a real chance to tickle it and stop at the first
+  // catch. setenv before any model is built; model.cpp re-reads it per build.
+  setenv("OLSQ2_FUZZ_INJECT_ENCODING_BUG", "1", /*overwrite=*/1);
+  if (options.iterations <= 0 && options.seconds <= 0.0) {
+    options.iterations = 200;
+  }
+  options.stop_on_failure = true;
+  options.reduce_failures = true;
+
+  const fuzz::FuzzReport report = fuzz::run_fuzz(options);
+  std::cout << fuzz::format_report(report);
+  unsetenv("OLSQ2_FUZZ_INJECT_ENCODING_BUG");
+
+  if (report.failures.empty()) {
+    std::cerr << "olsq2_fuzz: injected encoding bug was NOT caught\n";
+    return 1;
+  }
+  const fuzz::FuzzFailure& f = report.failures.front();
+  if (!f.reduced) {
+    std::cerr << "olsq2_fuzz: failure caught but reducer did not confirm it\n";
+    return 1;
+  }
+  if (f.reduced->circuit.num_gates() > 5) {
+    std::cerr << "olsq2_fuzz: repro not minimal ("
+              << f.reduced->circuit.num_gates() << " gates > 5)\n";
+    return 1;
+  }
+  std::cout << "inject-bug self-test passed: caught by " << f.oracle
+            << ", reduced to " << f.reduced->circuit.num_gates()
+            << " gate(s)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  fuzz::FuzzOptions options;
+  bool inject_bug = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string value;
+    if (flag_value(args, i, "--seed", value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag_value(args, i, "--seconds", value)) {
+      options.seconds = std::strtod(value.c_str(), nullptr);
+    } else if (flag_value(args, i, "--iterations", value)) {
+      options.iterations = std::atoi(value.c_str());
+    } else if (flag_value(args, i, "--out", value)) {
+      options.corpus_dir = value;
+    } else if (args[i] == "--no-reduce") {
+      options.reduce_failures = false;
+    } else if (args[i] == "--stop-on-failure") {
+      options.stop_on_failure = true;
+    } else if (args[i] == "--verbose") {
+      options.verbose = true;
+    } else if (args[i] == "--inject-bug") {
+      inject_bug = true;
+    } else {
+      usage_error("unknown argument: " + args[i]);
+    }
+  }
+
+  if (inject_bug) return run_inject_bug_selftest(options);
+
+  if (options.seconds <= 0.0 && options.iterations <= 0) {
+    usage_error("need --seconds or --iterations");
+  }
+  const fuzz::FuzzReport report = fuzz::run_fuzz(options);
+  std::cout << fuzz::format_report(report);
+  return report.ok() ? 0 : 1;
+}

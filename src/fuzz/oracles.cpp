@@ -1,0 +1,313 @@
+#include "fuzz/oracles.h"
+
+#include <sstream>
+#include <string>
+
+#include "astar/astar.h"
+#include "bengen/rng.h"
+#include "circuit/dependency.h"
+#include "fuzz/metamorphic.h"
+#include "fuzz/refsolver.h"
+#include "layout/export.h"
+#include "layout/olsq2.h"
+#include "layout/tb.h"
+#include "layout/verifier.h"
+#include "sabre/sabre.h"
+#include "sat/drat_check.h"
+#include "sat/proof.h"
+#include "sat/solver.h"
+
+namespace olsq2::fuzz {
+
+namespace {
+
+// Wall-clock guard per optimizer call: fuzzed instances are tiny, so a
+// budget expiry signals an anomaly worth flagging but is reported as its
+// own error class (never silently treated as agreement).
+constexpr double kBudgetMs = 30000.0;
+
+std::string describe(const Instance& instance) {
+  std::ostringstream out;
+  out << instance.circuit.label() << " on " << instance.device.name() << "("
+      << instance.device.num_qubits() << "q/" << instance.device.num_edges()
+      << "e) S_D=" << instance.swap_duration << " seed=" << instance.seed;
+  return out.str();
+}
+
+void check_verified(OracleReport& report, const layout::Problem& problem,
+                    const layout::Result& result, const std::string& what) {
+  const layout::Verdict verdict =
+      result.transition_based ? layout::verify_transition_based(problem, result)
+                              : layout::verify(problem, result);
+  if (!verdict.ok) {
+    std::ostringstream out;
+    out << what << ": verifier rejected the decoded result:";
+    for (const std::string& e : verdict.errors) out << " [" << e << "]";
+    report.fail(out.str());
+  }
+}
+
+}  // namespace
+
+OracleReport check_encoding_differential(const Instance& instance) {
+  OracleReport report;
+  report.oracle = "encoding_differential";
+  const layout::Problem problem = instance.problem();
+  const circuit::DependencyGraph deps(instance.circuit);
+  const int horizon = deps.default_upper_bound() + 2;
+
+  // A compact but representative slice of the configuration matrix: both
+  // formulations, both FD-variable encodings, all injectivity styles, all
+  // cardinality encoders appear at least once.
+  std::vector<layout::EncodingConfig> configs(8);
+  configs[1].injectivity = layout::InjectivityEncoding::kChanneling;
+  configs[2].injectivity = layout::InjectivityEncoding::kAmoPerQubit;
+  configs[3].vars = layout::VarEncoding::kOneHot;
+  configs[4].cardinality = layout::CardEncoding::kSeqCounter;
+  configs[5].cardinality = layout::CardEncoding::kAdder;
+  configs[6].formulation = layout::Formulation::kOlsqBaseline;
+  configs[7].formulation = layout::Formulation::kOlsqBaseline;
+  configs[7].vars = layout::VarEncoding::kOneHot;
+  configs[7].injectivity = layout::InjectivityEncoding::kChanneling;
+  configs[7].cardinality = layout::CardEncoding::kSeqCounter;
+
+  // swap_bound -1 = satisfiability at the horizon with no SWAP budget.
+  for (int bound = -1; bound <= 2; ++bound) {
+    int reference = -1;  // 0 = UNSAT, 1 = SAT
+    std::string reference_label;
+    for (const layout::EncodingConfig& config : configs) {
+      const layout::Result r =
+          layout::solve_fixed(problem, horizon, bound, config);
+      if (r.hit_budget) {
+        report.fail(describe(instance) + ": " + config.label() +
+                    " bound=" + std::to_string(bound) + ": budget expired");
+        continue;
+      }
+      if (r.solved) {
+        check_verified(report, problem, r,
+                       describe(instance) + ": " + config.label() +
+                           " bound=" + std::to_string(bound));
+        if (bound >= 0 && r.swap_count > bound) {
+          report.fail(describe(instance) + ": " + config.label() +
+                      ": solution uses " + std::to_string(r.swap_count) +
+                      " swaps over bound " + std::to_string(bound));
+        }
+      }
+      const int verdict = r.solved ? 1 : 0;
+      if (reference < 0) {
+        reference = verdict;
+        reference_label = config.label();
+      } else if (verdict != reference) {
+        report.fail(describe(instance) + ": bound=" + std::to_string(bound) +
+                    ": " + config.label() + " says " +
+                    (r.solved ? "SAT" : "UNSAT") + " but " + reference_label +
+                    " said the opposite");
+      }
+    }
+  }
+  return report;
+}
+
+OracleReport check_engine_differential(const Instance& instance) {
+  OracleReport report;
+  report.oracle = "engine_differential";
+  const layout::Problem problem = instance.problem();
+  const circuit::DependencyGraph deps(instance.circuit);
+
+  layout::OptimizerOptions options;
+  options.time_budget_ms = kBudgetMs;
+
+  const layout::Result depth_opt =
+      layout::synthesize_depth_optimal(problem, {}, options);
+  if (!depth_opt.solved) {
+    report.fail(describe(instance) + ": depth-optimal synthesis failed" +
+                (depth_opt.hit_budget ? " (budget)" : ""));
+    return report;
+  }
+  check_verified(report, problem, depth_opt, describe(instance) + ": depth-opt");
+  if (depth_opt.depth < deps.longest_chain()) {
+    report.fail(describe(instance) + ": optimal depth " +
+                std::to_string(depth_opt.depth) +
+                " below the dependency lower bound " +
+                std::to_string(deps.longest_chain()));
+  }
+
+  const layout::Result swap_opt =
+      layout::synthesize_swap_optimal(problem, {}, options);
+  if (!swap_opt.solved) {
+    report.fail(describe(instance) + ": swap-optimal synthesis failed" +
+                (swap_opt.hit_budget ? " (budget)" : ""));
+    return report;
+  }
+  check_verified(report, problem, swap_opt, describe(instance) + ": swap-opt");
+  if (swap_opt.swap_count > depth_opt.swap_count) {
+    report.fail(describe(instance) + ": swap-optimal sweep found " +
+                std::to_string(swap_opt.swap_count) +
+                " swaps, worse than the depth-first pass's " +
+                std::to_string(depth_opt.swap_count));
+  }
+
+  const layout::Result tb = layout::tb_synthesize_swap_optimal(problem, {}, options);
+  if (!tb.solved) {
+    report.fail(describe(instance) + ": TB synthesis failed" +
+                (tb.hit_budget ? " (budget)" : ""));
+    return report;
+  }
+  check_verified(report, problem, tb, describe(instance) + ": TB");
+  // The TB relaxation can only need fewer or equal SWAPs than any
+  // time-resolved solution.
+  if (tb.swap_count > swap_opt.swap_count) {
+    report.fail(describe(instance) + ": TB swap count " +
+                std::to_string(tb.swap_count) + " exceeds time-resolved " +
+                std::to_string(swap_opt.swap_count));
+  }
+  // Expansion back to a concrete schedule must satisfy the strict verifier
+  // and preserve the SWAP count.
+  const layout::Result expanded = layout::expand_transition_result(problem, tb);
+  check_verified(report, problem, expanded, describe(instance) + ": TB-expanded");
+  if (expanded.swap_count != tb.swap_count) {
+    report.fail(describe(instance) + ": TB expansion changed the swap count");
+  }
+
+  // Heuristic engines give upper bounds for the exact optima.
+  const sabre::SabreResult heuristic = sabre::route(problem);
+  if (tb.swap_count > heuristic.swap_count) {
+    report.fail(describe(instance) + ": TB swap count " +
+                std::to_string(tb.swap_count) + " exceeds SABRE's " +
+                std::to_string(heuristic.swap_count));
+  }
+  if (depth_opt.depth > heuristic.depth) {
+    report.fail(describe(instance) + ": optimal depth " +
+                std::to_string(depth_opt.depth) + " exceeds SABRE's routed " +
+                std::to_string(heuristic.depth));
+  }
+  const astar::AstarResult astar_result = astar::route(problem);
+  if (tb.swap_count > astar_result.swap_count) {
+    report.fail(describe(instance) + ": TB swap count " +
+                std::to_string(tb.swap_count) + " exceeds A*'s " +
+                std::to_string(astar_result.swap_count));
+  }
+  if (depth_opt.depth > astar_result.depth) {
+    report.fail(describe(instance) + ": optimal depth " +
+                std::to_string(depth_opt.depth) + " exceeds A*'s routed " +
+                std::to_string(astar_result.depth));
+  }
+  return report;
+}
+
+OracleReport check_metamorphic(const Instance& instance, std::uint64_t seed) {
+  OracleReport report;
+  report.oracle = "metamorphic";
+  bengen::Rng rng(seed);
+  layout::OptimizerOptions options;
+  options.time_budget_ms = kBudgetMs;
+
+  const auto objectives = [&](const Instance& inst, int& depth, int& swaps,
+                              const std::string& what) {
+    const layout::Problem p = inst.problem();
+    const layout::Result d = layout::synthesize_depth_optimal(p, {}, options);
+    const layout::Result s = layout::tb_synthesize_swap_optimal(p, {}, options);
+    if (!d.solved || !s.solved) {
+      report.fail(describe(instance) + ": " + what + ": synthesis failed");
+      return false;
+    }
+    check_verified(report, p, d, describe(instance) + ": " + what + " depth");
+    check_verified(report, p, s, describe(instance) + ": " + what + " swap");
+    depth = d.depth;
+    swaps = s.swap_count;
+    return true;
+  };
+
+  int base_depth = 0;
+  int base_swaps = 0;
+  if (!objectives(instance, base_depth, base_swaps, "base")) return report;
+
+  struct Variant {
+    std::string name;
+    Instance instance;
+    int expected_depth_delta;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"relabel_program", relabel_program_qubits(instance, rng), 0});
+  variants.push_back({"relabel_physical", relabel_physical_qubits(instance, rng), 0});
+  variants.push_back({"commuting_reorder", commuting_reorder(instance, rng), 0});
+  variants.push_back({"reverse", reverse_circuit(instance), 0});
+  if (instance.swap_duration == 1) {
+    // The depth+1 relation is exact only for S_D = 1 (DESIGN.md §9).
+    variants.push_back({"pad_front_layer", pad_front_layer(instance), 1});
+  }
+
+  for (const Variant& v : variants) {
+    int depth = 0;
+    int swaps = 0;
+    if (!objectives(v.instance, depth, swaps, v.name)) continue;
+    if (depth != base_depth + v.expected_depth_delta) {
+      report.fail(describe(instance) + ": " + v.name + ": optimal depth " +
+                  std::to_string(depth) + " != expected " +
+                  std::to_string(base_depth + v.expected_depth_delta));
+    }
+    if (swaps != base_swaps) {
+      report.fail(describe(instance) + ": " + v.name + ": TB swap count " +
+                  std::to_string(swaps) + " != base " +
+                  std::to_string(base_swaps));
+    }
+  }
+  return report;
+}
+
+OracleReport check_sat_core(std::uint64_t seed) {
+  OracleReport report;
+  report.oracle = "sat_core";
+  const sat::DimacsProblem cnf = random_cnf(seed);
+
+  sat::Proof proof;
+  sat::Solver solver;
+  solver.set_proof(&proof);
+  for (int v = 0; v < cnf.num_vars; ++v) solver.new_var();
+  for (const sat::Clause& clause : cnf.clauses) {
+    solver.add_clause(clause);
+  }
+  const sat::LBool cdcl = solver.solve();
+
+  const sat::LBool reference = dpll_solve(cnf.num_vars, cnf.clauses);
+  if (cdcl == sat::LBool::kUndef) {
+    report.fail("sat_core seed=" + std::to_string(seed) +
+                ": CDCL returned kUndef with no budget set");
+    return report;
+  }
+  if (cdcl != reference) {
+    report.fail("sat_core seed=" + std::to_string(seed) + ": CDCL says " +
+                (cdcl == sat::LBool::kTrue ? "SAT" : "UNSAT") +
+                " but reference DPLL disagrees");
+    return report;
+  }
+  if (cdcl == sat::LBool::kTrue) {
+    std::vector<bool> model(cnf.num_vars, false);
+    for (int v = 0; v < cnf.num_vars; ++v) {
+      model[v] = solver.model_value(static_cast<sat::Var>(v)) == sat::LBool::kTrue;
+    }
+    if (!model_satisfies(cnf.clauses, model)) {
+      report.fail("sat_core seed=" + std::to_string(seed) +
+                  ": CDCL model does not satisfy the formula");
+    }
+  } else {
+    const sat::DratCheckResult drat = sat::check_drat(cnf.clauses, proof);
+    if (!drat.all_steps_valid || !drat.proves_unsat) {
+      report.fail("sat_core seed=" + std::to_string(seed) +
+                  ": UNSAT answer lacks a valid DRAT proof (first invalid "
+                  "step " +
+                  std::to_string(drat.first_invalid_step) + ")");
+    }
+  }
+  return report;
+}
+
+OracleReport check_instance(const Instance& instance, std::uint64_t seed) {
+  OracleReport report = check_encoding_differential(instance);
+  if (!report.ok) return report;
+  report = check_engine_differential(instance);
+  if (!report.ok) return report;
+  return check_metamorphic(instance, seed);
+}
+
+}  // namespace olsq2::fuzz

@@ -1,0 +1,49 @@
+// Differential and metamorphic oracles over fuzzed instances.
+//
+// Each oracle runs a family of independent engines / encodings / rewrites
+// on one instance and cross-checks everything that must agree:
+//   check_encoding_differential - every encoding configuration (bit-vector
+//     vs one-hot FD variables, pairwise vs channeling vs AMO injectivity,
+//     all three cardinality encoders, OLSQ2 vs the OLSQ baseline) must
+//     return the same SAT verdict for the same bounds, and every SAT answer
+//     must pass layout::verify.
+//   check_engine_differential - exact OLSQ2 optima vs TB-OLSQ2 relaxation
+//     vs A*/SABRE heuristic upper bounds: tb_swaps <= opt_swaps <=
+//     heuristic_swaps, opt_depth <= heuristic_depth, verifier green on all.
+//   check_metamorphic - optimal depth / SWAP count invariant (or shifted by
+//     the known amount) under the transforms of metamorphic.h.
+//   check_sat_core - CDCL vs reference DPLL on random CNF; UNSAT answers
+//     must carry a checkable DRAT proof, SAT models must evaluate true.
+// An OracleReport with ok=false is a bug in the library (or a deliberately
+// injected one - see OLSQ2_FUZZ_INJECT_ENCODING_BUG in layout/model.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+
+namespace olsq2::fuzz {
+
+struct OracleReport {
+  std::string oracle;
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string message) {
+    ok = false;
+    errors.push_back(std::move(message));
+  }
+};
+
+OracleReport check_encoding_differential(const Instance& instance);
+OracleReport check_engine_differential(const Instance& instance);
+/// `seed` drives the random permutations inside the transforms.
+OracleReport check_metamorphic(const Instance& instance, std::uint64_t seed);
+OracleReport check_sat_core(std::uint64_t seed);
+
+/// All instance-level oracles in sequence (encoding, engine, metamorphic);
+/// stops at the first failing report. This is the reducer's predicate.
+OracleReport check_instance(const Instance& instance, std::uint64_t seed);
+
+}  // namespace olsq2::fuzz

@@ -1,0 +1,186 @@
+#include "fuzz/reduce.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace olsq2::fuzz {
+
+namespace {
+
+using circuit::Gate;
+
+circuit::Circuit rebuild_circuit(const circuit::Circuit& base,
+                                 const std::vector<Gate>& gates,
+                                 int num_qubits) {
+  circuit::Circuit c(num_qubits, base.name());
+  for (const Gate& g : gates) {
+    if (g.is_two_qubit()) {
+      c.add_gate(g.name, g.q0, g.q1, g.params);
+    } else {
+      c.add_gate(g.name, g.q0, g.params);
+    }
+  }
+  return c;
+}
+
+bool connected(int num_qubits, const std::vector<device::Edge>& edges) {
+  if (num_qubits <= 1) return true;
+  std::vector<std::vector<int>> adj(num_qubits);
+  for (const device::Edge& e : edges) {
+    adj[e.p0].push_back(e.p1);
+    adj[e.p1].push_back(e.p0);
+  }
+  std::vector<bool> seen(num_qubits, false);
+  std::vector<int> stack{0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int p = stack.back();
+    stack.pop_back();
+    for (const int q : adj[p]) {
+      if (!seen[q]) {
+        seen[q] = true;
+        visited++;
+        stack.push_back(q);
+      }
+    }
+  }
+  return visited == num_qubits;
+}
+
+struct Reducer {
+  const FailurePredicate& still_fails;
+  const ReduceOptions& options;
+  int calls = 0;
+
+  bool fails(const Instance& candidate) {
+    if (calls >= options.max_predicate_calls) return false;
+    calls++;
+    return still_fails(candidate);
+  }
+
+  bool exhausted() const { return calls >= options.max_predicate_calls; }
+
+  /// ddmin over the gate list: try removing chunks at shrinking granularity
+  /// until no single gate can be removed.
+  void reduce_gates(Instance& best) {
+    std::vector<Gate> gates = best.circuit.gates();
+    std::size_t chunk = std::max<std::size_t>(1, gates.size() / 2);
+    while (!gates.empty() && !exhausted()) {
+      bool removed_any = false;
+      for (std::size_t start = 0; start < gates.size() && !exhausted();) {
+        std::vector<Gate> candidate_gates;
+        candidate_gates.reserve(gates.size());
+        const std::size_t end = std::min(gates.size(), start + chunk);
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+          if (i < start || i >= end) candidate_gates.push_back(gates[i]);
+        }
+        Instance candidate{
+            rebuild_circuit(best.circuit, candidate_gates,
+                            best.circuit.num_qubits()),
+            best.device, best.swap_duration, best.seed};
+        if (fails(candidate)) {
+          gates = std::move(candidate_gates);
+          best = std::move(candidate);
+          removed_any = true;
+          // Retry the same position: the next chunk slid into it.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1 && !removed_any) break;
+      if (!removed_any) chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+
+  /// Drop program qubits no remaining gate touches (relabeling the rest
+  /// downward), provided the failure survives.
+  void compact_qubits(Instance& best) {
+    std::vector<bool> used(best.circuit.num_qubits(), false);
+    for (const Gate& g : best.circuit.gates()) {
+      used[g.q0] = true;
+      if (g.q1 >= 0) used[g.q1] = true;
+    }
+    std::vector<int> remap(best.circuit.num_qubits(), -1);
+    int next = 0;
+    for (int q = 0; q < best.circuit.num_qubits(); ++q) {
+      if (used[q]) remap[q] = next++;
+    }
+    if (next == best.circuit.num_qubits()) return;  // nothing unused
+    std::vector<Gate> gates = best.circuit.gates();
+    for (Gate& g : gates) {
+      g.q0 = remap[g.q0];
+      if (g.q1 >= 0) g.q1 = remap[g.q1];
+    }
+    Instance candidate{rebuild_circuit(best.circuit, gates, std::max(next, 1)),
+                       best.device, best.swap_duration, best.seed};
+    if (fails(candidate)) best = std::move(candidate);
+  }
+
+  /// Greedily remove device edges, then surplus physical qubits, keeping
+  /// the coupling graph connected and large enough to host the circuit.
+  void shrink_device(Instance& best) {
+    bool changed = true;
+    while (changed && !exhausted()) {
+      changed = false;
+      // Edges.
+      for (int e = best.device.num_edges() - 1; e >= 0 && !exhausted(); --e) {
+        std::vector<device::Edge> edges = best.device.edges();
+        edges.erase(edges.begin() + e);
+        if (!connected(best.device.num_qubits(), edges)) continue;
+        Instance candidate{best.circuit,
+                           device::Device(best.device.name(),
+                                          best.device.num_qubits(),
+                                          std::move(edges)),
+                           best.swap_duration, best.seed};
+        if (fails(candidate)) {
+          best = std::move(candidate);
+          changed = true;
+        }
+      }
+      // Physical qubits (only while the device stays big enough).
+      for (int p = best.device.num_qubits() - 1;
+           p >= 0 && best.device.num_qubits() > best.circuit.num_qubits() &&
+           !exhausted();
+           --p) {
+        std::vector<device::Edge> edges;
+        for (const device::Edge& e : best.device.edges()) {
+          if (e.touches(p)) continue;
+          edges.push_back({e.p0 > p ? e.p0 - 1 : e.p0,
+                           e.p1 > p ? e.p1 - 1 : e.p1});
+        }
+        if (!connected(best.device.num_qubits() - 1, edges)) continue;
+        Instance candidate{best.circuit,
+                           device::Device(best.device.name(),
+                                          best.device.num_qubits() - 1,
+                                          std::move(edges)),
+                           best.swap_duration, best.seed};
+        if (fails(candidate)) {
+          best = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ReduceResult reduce(const Instance& failing, const FailurePredicate& still_fails,
+                    const ReduceOptions& options) {
+  Reducer reducer{still_fails, options};
+  Instance best = failing;
+  if (!reducer.fails(best)) {
+    return ReduceResult{std::move(best), reducer.calls, /*input_failed=*/false};
+  }
+  reducer.reduce_gates(best);
+  reducer.compact_qubits(best);
+  reducer.shrink_device(best);
+  // A second gate pass often pays off after the device shrank.
+  reducer.reduce_gates(best);
+  reducer.compact_qubits(best);
+  return ReduceResult{std::move(best), reducer.calls, /*input_failed=*/true};
+}
+
+}  // namespace olsq2::fuzz

@@ -1,0 +1,107 @@
+#include "fuzz/refsolver.h"
+
+#include <optional>
+
+namespace olsq2::fuzz {
+
+namespace {
+
+using sat::Clause;
+using sat::LBool;
+using sat::Lit;
+
+struct Dpll {
+  const std::vector<Clause>& clauses;
+  std::vector<LBool> assign;
+
+  LBool value(Lit l) const { return sat::lit_value(assign[l.var()], l.sign()); }
+
+  // Propagate units to fixpoint. Returns false on conflict.
+  bool propagate(std::vector<sat::Var>& trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& c : clauses) {
+        int unassigned = 0;
+        Lit unit = sat::kUndefLit;
+        bool satisfied = false;
+        for (const Lit l : c) {
+          const LBool v = value(l);
+          if (v == LBool::kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == LBool::kUndef) {
+            unassigned++;
+            unit = l;
+          }
+        }
+        if (satisfied) continue;
+        if (unassigned == 0) return false;  // conflict
+        if (unassigned == 1) {
+          assign[unit.var()] = unit.sign() ? LBool::kFalse : LBool::kTrue;
+          trail.push_back(unit.var());
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool solve() {
+    std::vector<sat::Var> trail;
+    if (!propagate(trail)) {
+      for (const sat::Var v : trail) assign[v] = LBool::kUndef;
+      return false;
+    }
+    sat::Var branch = -1;
+    for (sat::Var v = 0; v < static_cast<sat::Var>(assign.size()); ++v) {
+      if (assign[v] == LBool::kUndef) {
+        branch = v;
+        break;
+      }
+    }
+    if (branch < 0) return true;  // complete assignment, no conflict
+    for (const LBool phase : {LBool::kTrue, LBool::kFalse}) {
+      assign[branch] = phase;
+      if (solve()) return true;
+      assign[branch] = LBool::kUndef;
+    }
+    for (const sat::Var v : trail) assign[v] = LBool::kUndef;
+    return false;
+  }
+};
+
+}  // namespace
+
+sat::LBool dpll_solve(int num_vars, const std::vector<Clause>& clauses,
+                      std::vector<bool>* model) {
+  Dpll dpll{clauses, std::vector<LBool>(num_vars, LBool::kUndef)};
+  const bool sat = dpll.solve();
+  if (sat && model != nullptr) {
+    model->assign(num_vars, false);
+    for (int v = 0; v < num_vars; ++v) {
+      (*model)[v] = dpll.assign[v] == LBool::kTrue;
+    }
+  }
+  return sat ? LBool::kTrue : LBool::kFalse;
+}
+
+bool model_satisfies(const std::vector<Clause>& clauses,
+                     const std::vector<bool>& model) {
+  for (const Clause& c : clauses) {
+    bool satisfied = false;
+    for (const Lit l : c) {
+      const bool v = l.var() < static_cast<sat::Var>(model.size()) &&
+                     model[l.var()];
+      if (v != l.sign()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace olsq2::fuzz

@@ -1,0 +1,28 @@
+// Tiny reference DPLL solver for differential-testing the CDCL core.
+//
+// Deliberately primitive: recursive DPLL with unit propagation and
+// first-unassigned branching, no learning, no heuristics - an independent
+// decision procedure whose verdict on small formulas is easy to trust. The
+// fuzzer cross-checks sat::Solver against it on random CNF and demands a
+// DRAT certificate whenever both agree on UNSAT.
+#pragma once
+
+#include <vector>
+
+#include "sat/types.h"
+
+namespace olsq2::fuzz {
+
+/// Decide satisfiability by exhaustive DPLL. Exponential - callers keep
+/// num_vars small (the fuzzer stays <= ~12). When `model` is non-null and
+/// the formula is SAT, it receives one satisfying assignment (size
+/// num_vars; unconstrained variables default to false).
+sat::LBool dpll_solve(int num_vars, const std::vector<sat::Clause>& clauses,
+                      std::vector<bool>* model = nullptr);
+
+/// True when `model` satisfies every clause (the model-checking half of the
+/// differential oracle; also used to validate CDCL models directly).
+bool model_satisfies(const std::vector<sat::Clause>& clauses,
+                     const std::vector<bool>& model);
+
+}  // namespace olsq2::fuzz

@@ -24,6 +24,19 @@ bool lint_encodings_enabled() {
   return enabled;
 }
 
+// Fault injection for the fuzzing harness (src/fuzz/): when
+// OLSQ2_FUZZ_INJECT_ENCODING_BUG is set, the pairwise injectivity encoding
+// deliberately omits the clauses separating program qubits 0 and 1, so
+// decoded mappings may stack both on one physical qubit. The fuzzer's
+// verifier/differential oracles must catch this and the reducer must shrink
+// it to a minimal repro - the end-to-end self-test of the whole harness.
+// Never set this variable outside that test. Re-read on every model build
+// (not cached) so one process can test both arms.
+bool inject_encoding_bug() {
+  const char* v = std::getenv("OLSQ2_FUZZ_INJECT_ENCODING_BUG");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
 }  // namespace
 
 std::string EncodingConfig::label() const {
@@ -178,8 +191,10 @@ void Model::build_injectivity() {
       }
     } else {
       // Pairwise disequalities, expanded per physical qubit.
+      const bool buggy = inject_encoding_bug();
       for (int q = 0; q < num_q; ++q) {
         for (int r = q + 1; r < num_q; ++r) {
+          if (buggy && q == 0 && r == 1) continue;  // see inject_encoding_bug()
           for (int p = 0; p < num_p; ++p) {
             builder_.add({~pi_[q][t].eq(builder_, p), ~pi_[r][t].eq(builder_, p)});
           }

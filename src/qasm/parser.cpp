@@ -164,9 +164,29 @@ class Parser {
   circuit::Circuit circuit_;
 };
 
+// The name the writer embedded as a "// name: <name>" comment, if any.
+std::string embedded_name(std::string_view source) {
+  constexpr std::string_view kMarker = "// name: ";
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    std::size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    const std::string_view line = source.substr(pos, eol - pos);
+    if (line.substr(0, kMarker.size()) == kMarker) {
+      return std::string(line.substr(kMarker.size()));
+    }
+    pos = eol + 1;
+  }
+  return "";
+}
+
 }  // namespace
 
 circuit::Circuit parse(std::string_view source, std::string circuit_name) {
+  if (circuit_name.empty()) {
+    circuit_name = embedded_name(source);
+    if (circuit_name.empty()) circuit_name = "qasm";
+  }
   return Parser(source, std::move(circuit_name)).run();
 }
 

@@ -16,8 +16,11 @@
 namespace olsq2::qasm {
 
 /// Parse QASM source into a Circuit. Throws std::runtime_error with a
-/// line-numbered message on malformed input.
-circuit::Circuit parse(std::string_view source, std::string circuit_name = "qasm");
+/// line-numbered message on malformed input. With an empty `circuit_name`
+/// the name is recovered from a "// name: <name>" header comment (written
+/// by qasm::write, so write -> parse round-trips the name too), falling
+/// back to "qasm".
+circuit::Circuit parse(std::string_view source, std::string circuit_name = "");
 
 /// Parse a QASM file from disk.
 circuit::Circuit parse_file(const std::string& path);

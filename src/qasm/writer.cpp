@@ -8,6 +8,10 @@ std::string write(const circuit::Circuit& c) {
   std::ostringstream out;
   out << "OPENQASM 2.0;\n"
       << "include \"qelib1.inc\";\n"
+      // Structured header comment: parse() recovers the circuit name from
+      // this line, making write -> parse an exact round trip (the gate list
+      // and qubit count already survive via the body and qreg).
+      << "// name: " << c.name() << "\n"
       << "// " << c.label() << "\n"
       << "qreg q[" << c.num_qubits() << "];\n";
   for (const circuit::Gate& g : c.gates()) {

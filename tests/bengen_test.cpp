@@ -10,6 +10,8 @@
 #include "bengen/workloads.h"
 #include "circuit/dependency.h"
 #include "device/presets.h"
+#include "qasm/parser.h"
+#include "qasm/writer.h"
 
 namespace olsq2::bengen {
 namespace {
@@ -187,6 +189,26 @@ TEST(CuccaroAdder, LadderShape) {
     EXPECT_EQ(c.num_qubits(), 2 * n + 2);
     // 2n MAJ/UMA pairs, each 2 CX + a 15-gate Toffoli, plus the carry CX.
     EXPECT_EQ(c.num_gates(), 2 * n * (2 + 15) + 1);
+  }
+}
+
+TEST(AllGenerators, RoundTripExactlyThroughQasm) {
+  // Every workload generator emits only standard qelib1 gates, and the
+  // writer's structured header preserves the circuit name, so a write ->
+  // parse cycle reproduces the circuit exactly (fuzz repros depend on this).
+  const auto dev = device::grid(3, 3);
+  QuekoSpec spec;
+  spec.depth = 4;
+  spec.gate_count = 20;
+  const std::vector<circuit::Circuit> all = {
+      qaoa_3regular(8, 3),       queko(dev, spec), qft(6),
+      tof(4),                    barenco_tof(4),   ising(6, 3),
+      ghz(5),                    bernstein_vazirani(5, 0b10110),
+      cuccaro_adder(3)};
+  for (const auto& c : all) {
+    SCOPED_TRACE(c.name());
+    const circuit::Circuit reparsed = qasm::parse(qasm::write(c));
+    EXPECT_EQ(reparsed, c);
   }
 }
 

@@ -1,0 +1,6 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// name: fuzz
+// fuzz(3/1)
+qreg q[3];
+rz(pi/4) q[0];

@@ -1,0 +1,7 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// name: fuzz
+// fuzz(2/2)
+qreg q[2];
+t q[1];
+h q[0];

@@ -1,0 +1,15 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// name: fuzz
+// fuzz(5/10)
+qreg q[5];
+cz q[1], q[3];
+s q[0];
+rz(pi/4) q[0];
+rzz(0.7) q[4], q[3];
+cx q[1], q[4];
+rzz(0.7) q[4], q[1];
+rzz(0.7) q[0], q[4];
+x q[4];
+rz(pi/4) q[3];
+cx q[1], q[3];

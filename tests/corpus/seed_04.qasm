@@ -1,0 +1,13 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// name: fuzz
+// fuzz(4/8)
+qreg q[4];
+cz q[0], q[2];
+cz q[1], q[0];
+cz q[3], q[1];
+cz q[2], q[1];
+cz q[2], q[3];
+h q[3];
+cz q[2], q[3];
+rz(pi/4) q[3];

@@ -1,0 +1,14 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// name: fuzz
+// fuzz(4/9)
+qreg q[4];
+rzz(0.7) q[2], q[1];
+cz q[2], q[1];
+cx q[0], q[1];
+rzz(0.7) q[1], q[3];
+s q[3];
+x q[3];
+cx q[0], q[1];
+rzz(0.7) q[1], q[3];
+cz q[2], q[3];

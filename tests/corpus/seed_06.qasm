@@ -1,0 +1,15 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// name: fuzz
+// fuzz(2/10)
+qreg q[2];
+rzz(0.7) q[0], q[1];
+cx q[0], q[1];
+sdg q[1];
+rz(0.35) q[0];
+t q[1];
+rz(pi/4) q[0];
+rzz(0.7) q[0], q[1];
+cz q[0], q[1];
+cz q[0], q[1];
+cx q[1], q[0];

@@ -1,0 +1,15 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// name: fuzz
+// fuzz(5/10)
+qreg q[5];
+cz q[2], q[4];
+cz q[3], q[2];
+cz q[0], q[1];
+sdg q[1];
+cx q[1], q[2];
+cx q[1], q[0];
+h q[0];
+cx q[2], q[3];
+cx q[0], q[4];
+rzz(0.7) q[4], q[0];

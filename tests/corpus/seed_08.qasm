@@ -1,0 +1,8 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// name: fuzz
+// fuzz(3/3)
+qreg q[3];
+tdg q[2];
+cz q[1], q[2];
+rzz(0.7) q[0], q[2];

@@ -1,0 +1,7 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// name: fuzz
+// fuzz(4/2)
+qreg q[4];
+tdg q[0];
+cx q[1], q[2];

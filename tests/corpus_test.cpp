@@ -4,6 +4,8 @@
 
 #include "circuit/dependency.h"
 #include "device/presets.h"
+#include "fuzz/corpus.h"
+#include "fuzz/oracles.h"
 #include "layout/export.h"
 #include "layout/olsq2.h"
 #include "layout/verifier.h"
@@ -74,6 +76,64 @@ TEST(Corpus, QaoaTriangleForcesSwapOnLine) {
   const auto routed = layout::to_physical_circuit(problem, r);
   const auto reparsed = qasm::parse(qasm::write(routed));
   EXPECT_EQ(reparsed.num_gates(), 4);
+}
+
+#ifndef OLSQ2_FUZZ_CORPUS_DIR
+#error "OLSQ2_FUZZ_CORPUS_DIR must be defined by the build"
+#endif
+
+// Replay every committed fuzz-corpus case (tests/corpus/) through the full
+// encoding matrix and the verifier. Cases land here in two ways: seeded
+// regression instances and minimized repros of fuzzer-discovered bugs - so
+// a once-found bug can never silently return.
+TEST(FuzzCorpus, HasSeededCases) {
+  const auto names = fuzz::list_cases(OLSQ2_FUZZ_CORPUS_DIR);
+  EXPECT_GE(names.size(), 10u);
+}
+
+TEST(FuzzCorpus, ReplayAllCasesThroughEveryEncoding) {
+  const std::string dir = OLSQ2_FUZZ_CORPUS_DIR;
+  const auto names = fuzz::list_cases(dir);
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    const fuzz::Instance instance = fuzz::load_case(
+        dir + "/" + name + ".qasm", dir + "/" + name + ".device.json");
+    const fuzz::OracleReport report =
+        fuzz::check_encoding_differential(instance);
+    for (const std::string& e : report.errors) ADD_FAILURE() << e;
+    EXPECT_TRUE(report.ok);
+  }
+}
+
+TEST(FuzzCorpus, ReplayAllCasesThroughEngines) {
+  const std::string dir = OLSQ2_FUZZ_CORPUS_DIR;
+  for (const std::string& name : fuzz::list_cases(dir)) {
+    SCOPED_TRACE(name);
+    const fuzz::Instance instance = fuzz::load_case(
+        dir + "/" + name + ".qasm", dir + "/" + name + ".device.json");
+    const fuzz::OracleReport report = fuzz::check_engine_differential(instance);
+    for (const std::string& e : report.errors) ADD_FAILURE() << e;
+    EXPECT_TRUE(report.ok);
+  }
+}
+
+TEST(FuzzCorpus, CasesRoundTripThroughSaveAndLoad) {
+  const std::string dir = OLSQ2_FUZZ_CORPUS_DIR;
+  const auto names = fuzz::list_cases(dir);
+  ASSERT_FALSE(names.empty());
+  const std::string tmp = ::testing::TempDir() + "corpus_roundtrip";
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    const fuzz::Instance loaded = fuzz::load_case(
+        dir + "/" + name + ".qasm", dir + "/" + name + ".device.json");
+    const auto [qasm_path, json_path] = fuzz::save_case(tmp, name, loaded);
+    const fuzz::Instance again = fuzz::load_case(qasm_path, json_path);
+    EXPECT_EQ(again.circuit, loaded.circuit);
+    EXPECT_EQ(again.device.num_qubits(), loaded.device.num_qubits());
+    EXPECT_EQ(again.device.num_edges(), loaded.device.num_edges());
+    EXPECT_EQ(again.swap_duration, loaded.swap_duration);
+  }
 }
 
 }  // namespace

@@ -2,8 +2,14 @@
 // integration (export at learn time, import at restart boundaries).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bengen/rng.h"
+#include "fuzz/generator.h"
+#include "fuzz/refsolver.h"
+#include "sat/dimacs.h"
 #include "sat/exchange.h"
 #include "sat/solver.h"
 
@@ -234,6 +240,133 @@ TEST(SolverExchange, VsidsSeedIsReproducible) {
     return s.stats().decisions;
   };
   EXPECT_EQ(run(42), run(42));
+}
+
+// ---- Fuzzed clause streams ------------------------------------------------
+//
+// Random import/export interleavings over random CNF must never change a
+// solver's SAT/UNSAT answer and must leave every structural invariant
+// intact. Soundness discipline: an injector may only publish clauses the
+// formula already implies, so it feeds the hub random *original* clauses
+// (with arbitrary LBD tags) - exactly the kind of traffic a peer that
+// learnt a subsumed clause would generate.
+
+TEST(ExchangeFuzz, RandomStreamsPreserveVerdictsAndInvariants) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    bengen::Rng rng(seed * 977 + 5);
+    const sat::DimacsProblem cnf = fuzz::random_cnf(seed);
+    const LBool expected = fuzz::dpll_solve(cnf.num_vars, cnf.clauses);
+
+    ClauseExchange ex;
+    constexpr int kSolvers = 3;
+    Solver solvers[kSolvers];
+    for (Solver& s : solvers) {
+      for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+      bool consistent = true;
+      for (const Clause& c : cnf.clauses) {
+        consistent = s.add_clause(c) && consistent;
+      }
+      if (!consistent) {
+        // Top-level conflict while loading: the formula is UNSAT and the
+        // exchange machinery never comes into play.
+        ASSERT_EQ(expected, LBool::kFalse);
+      }
+      s.set_exchange(&ex, "fuzzed");
+      s.set_check_invariants(true);
+    }
+    // Same-group injector spraying implied clauses before and between
+    // solves, with random (even absurd) LBD tags.
+    const int injector = ex.add_solver("fuzzed");
+    const auto inject_some = [&] {
+      for (int k = rng.below_int(4); k > 0; --k) {
+        const Clause& c = cnf.clauses[rng.below_int(
+            static_cast<int>(cnf.clauses.size()))];
+        ex.publish(injector, c, static_cast<unsigned>(rng.below(8)));
+      }
+    };
+
+    std::vector<int> order = {0, 1, 2};
+    rng.shuffle(order);
+    for (const int i : order) {
+      inject_some();
+      EXPECT_EQ(solvers[i].solve(), expected);
+      if (expected == LBool::kTrue) {
+        std::vector<bool> model(cnf.num_vars);
+        for (int v = 0; v < cnf.num_vars; ++v) {
+          model[v] = solvers[i].model_value(v) == LBool::kTrue;
+        }
+        EXPECT_TRUE(fuzz::model_satisfies(cnf.clauses, model));
+      }
+      std::vector<std::string> errors;
+      EXPECT_TRUE(solvers[i].check_invariants(&errors))
+          << (errors.empty() ? "" : errors[0]);
+    }
+    // Re-solve after the cross-traffic has fully drained; answers and
+    // invariants must be stable under repeated import.
+    inject_some();
+    for (const int i : order) {
+      EXPECT_EQ(solvers[i].solve(), expected);
+      std::vector<std::string> errors;
+      EXPECT_TRUE(solvers[i].check_invariants(&errors))
+          << (errors.empty() ? "" : errors[0]);
+    }
+  }
+}
+
+TEST(ExchangeFuzz, HubDeliveryInvariantsUnderRandomInterleavings) {
+  // Pure hub-level fuzz: random publish/collect interleavings across two
+  // groups. Every accepted clause must reach every *other* same-group
+  // member exactly once, in publish order, and nobody else.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    bengen::Rng rng(seed);
+    ClauseExchange ex;
+    constexpr int kMembers = 4;
+    int ids[kMembers];
+    const char* groups[kMembers] = {"a", "a", "a", "b"};
+    for (int i = 0; i < kMembers; ++i) ids[i] = ex.add_solver(groups[i]);
+
+    // Per-member log of received clauses; global log of accepted group-a
+    // publishes as (source, clause) in hub order.
+    std::vector<std::vector<Clause>> received(kMembers);
+    std::vector<std::pair<int, Clause>> accepted_a;
+    for (int step = 0; step < 200; ++step) {
+      const int m = rng.below_int(kMembers);
+      if (rng.chance(0.5)) {
+        Clause c;
+        const int len = 1 + rng.below_int(3);
+        for (int j = 0; j < len; ++j) {
+          c.push_back(Lit(rng.below_int(6), rng.chance(0.5)));
+        }
+        if (ex.publish(ids[m], c, static_cast<unsigned>(rng.below(6))) &&
+            groups[m][0] == 'a') {
+          accepted_a.emplace_back(m, c);
+        }
+      } else {
+        ex.collect(ids[m], [&](std::span<const Lit> lits, unsigned) {
+          received[m].emplace_back(lits.begin(), lits.end());
+        });
+      }
+    }
+    for (int m = 0; m < kMembers; ++m) {
+      ex.collect(ids[m], [&](std::span<const Lit> lits, unsigned) {
+        received[m].emplace_back(lits.begin(), lits.end());
+      });
+    }
+    // Capacity was never hit, so after the final drain every group-a member
+    // must have received exactly the accepted group-a clauses from *other*
+    // members, in publish order; the lone group-b member receives nothing.
+    EXPECT_EQ(ex.traffic().dropped, 0u);
+    for (int m = 0; m < 3; ++m) {
+      std::vector<Clause> expected;
+      for (const auto& [source, clause] : accepted_a) {
+        if (source != m) expected.push_back(clause);
+      }
+      EXPECT_EQ(received[m], expected) << "member " << m;
+    }
+    EXPECT_TRUE(received[3].empty());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,322 @@
+// Tests for the fuzzing subsystem itself: generators, reference solver,
+// metamorphic transforms, oracles, the delta-debugging reducer, corpus
+// persistence, and the end-to-end injected-bug self-test.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bengen/graphgen.h"
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/generator.h"
+#include "fuzz/metamorphic.h"
+#include "fuzz/oracles.h"
+#include "fuzz/reduce.h"
+#include "fuzz/refsolver.h"
+#include "qasm/parser.h"
+#include "qasm/writer.h"
+#include "sat/solver.h"
+
+namespace olsq2 {
+namespace {
+
+using sat::LBool;
+using sat::Lit;
+
+// ---------------------------------------------------------------- generator
+
+TEST(FuzzGenerator, DeterministicFromSeed) {
+  const fuzz::Instance a = fuzz::random_instance(12345);
+  const fuzz::Instance b = fuzz::random_instance(12345);
+  EXPECT_EQ(a.circuit, b.circuit);
+  EXPECT_EQ(a.device.num_qubits(), b.device.num_qubits());
+  EXPECT_EQ(a.device.num_edges(), b.device.num_edges());
+  EXPECT_EQ(a.swap_duration, b.swap_duration);
+  const fuzz::Instance c = fuzz::random_instance(12346);
+  EXPECT_FALSE(a.circuit == c.circuit && a.device.num_qubits() ==
+                   c.device.num_qubits() &&
+               a.device.num_edges() == c.device.num_edges());
+}
+
+TEST(FuzzGenerator, InstancesAreWellFormed) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const fuzz::Instance inst = fuzz::random_instance(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_GE(inst.circuit.num_gates(), 1);
+    EXPECT_GE(inst.device.num_qubits(), inst.circuit.num_qubits());
+    EXPECT_TRUE(inst.swap_duration == 1 || inst.swap_duration == 3);
+    for (const circuit::Gate& g : inst.circuit.gates()) {
+      EXPECT_GE(g.q0, 0);
+      EXPECT_LT(g.q0, inst.circuit.num_qubits());
+      if (g.is_two_qubit()) {
+        EXPECT_GE(g.q1, 0);
+        EXPECT_LT(g.q1, inst.circuit.num_qubits());
+        EXPECT_NE(g.q0, g.q1);
+      }
+    }
+  }
+}
+
+TEST(FuzzGenerator, CircuitsRoundTripThroughQasm) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const fuzz::Instance inst = fuzz::random_instance(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const circuit::Circuit reparsed = qasm::parse(qasm::write(inst.circuit));
+    EXPECT_EQ(reparsed, inst.circuit);
+  }
+}
+
+TEST(FuzzGenerator, RandomConnectedGraphIsConnectedAndSimple) {
+  bengen::Rng rng(7);
+  for (int n = 1; n <= 12; ++n) {
+    for (int extra = 0; extra <= 4; ++extra) {
+      const auto edges = bengen::random_connected_graph(n, extra, rng);
+      SCOPED_TRACE("n=" + std::to_string(n) + " extra=" + std::to_string(extra));
+      // Simple graph: no self-loops, no duplicates (in either orientation).
+      std::set<std::pair<int, int>> seen;
+      for (const auto& [u, v] : edges) {
+        EXPECT_NE(u, v);
+        EXPECT_TRUE(u >= 0 && u < n && v >= 0 && v < n);
+        const auto key = std::minmax(u, v);
+        EXPECT_TRUE(seen.insert(key).second) << "duplicate edge";
+      }
+      EXPECT_GE(edges.size(), static_cast<std::size_t>(n > 1 ? n - 1 : 0));
+      // Connectivity by union-find.
+      std::vector<int> parent(n);
+      for (int i = 0; i < n; ++i) parent[i] = i;
+      const auto find = [&](int x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+      };
+      for (const auto& [u, v] : edges) parent[find(u)] = find(v);
+      for (int i = 0; i < n; ++i) EXPECT_EQ(find(i), find(0));
+    }
+  }
+}
+
+TEST(FuzzGenerator, DeriveSeedIsInjectiveEnough) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 1ull, 42ull}) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(seen.insert(fuzz::derive_seed(base, i)).second);
+    }
+  }
+}
+
+TEST(FuzzGenerator, RandomCnfRespectsBounds) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const sat::DimacsProblem cnf = fuzz::random_cnf(seed);
+    EXPECT_GE(cnf.num_vars, 3);
+    EXPECT_LE(cnf.num_vars, 10);
+    EXPECT_FALSE(cnf.clauses.empty());
+    for (const sat::Clause& c : cnf.clauses) {
+      EXPECT_GE(c.size(), 1u);
+      EXPECT_LE(c.size(), 3u);
+      for (const Lit& l : c) EXPECT_LT(l.var(), cnf.num_vars);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- refsolver
+
+TEST(FuzzRefSolver, KnownFormulas) {
+  const Lit a = Lit::pos(0), b = Lit::pos(1);
+  // (a | b) & (~a | b) & (a | ~b) : SAT with a=b=true.
+  std::vector<bool> model;
+  EXPECT_EQ(fuzz::dpll_solve(2, {{a, b}, {~a, b}, {a, ~b}}, &model),
+            LBool::kTrue);
+  EXPECT_TRUE(fuzz::model_satisfies({{a, b}, {~a, b}, {a, ~b}}, model));
+  // All four sign combinations: UNSAT.
+  EXPECT_EQ(fuzz::dpll_solve(2, {{a, b}, {~a, b}, {a, ~b}, {~a, ~b}}),
+            LBool::kFalse);
+  // Empty clause: UNSAT.
+  EXPECT_EQ(fuzz::dpll_solve(1, {{}}), LBool::kFalse);
+  // No clauses: trivially SAT.
+  EXPECT_EQ(fuzz::dpll_solve(1, {}), LBool::kTrue);
+}
+
+TEST(FuzzRefSolver, AgreesWithCdclOnRandomCnf) {
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    const sat::DimacsProblem cnf = fuzz::random_cnf(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    sat::Solver solver;
+    for (int v = 0; v < cnf.num_vars; ++v) solver.new_var();
+    bool consistent = true;
+    for (const sat::Clause& c : cnf.clauses) {
+      consistent = solver.add_clause(c) && consistent;
+    }
+    const LBool cdcl =
+        consistent ? solver.solve() : LBool::kFalse;
+    EXPECT_EQ(fuzz::dpll_solve(cnf.num_vars, cnf.clauses), cdcl);
+  }
+}
+
+TEST(FuzzOracles, SatCoreCleanOnManySeeds) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const fuzz::OracleReport r = fuzz::check_sat_core(seed);
+    for (const std::string& e : r.errors) ADD_FAILURE() << e;
+    EXPECT_TRUE(r.ok) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------------------- metamorphic
+
+TEST(FuzzMetamorphic, TransformsPreserveShape) {
+  bengen::Rng rng(11);
+  const fuzz::Instance base = fuzz::random_instance(77);
+  const fuzz::Instance rel = fuzz::relabel_program_qubits(base, rng);
+  EXPECT_EQ(rel.circuit.num_gates(), base.circuit.num_gates());
+  EXPECT_EQ(rel.circuit.num_qubits(), base.circuit.num_qubits());
+  const fuzz::Instance phys = fuzz::relabel_physical_qubits(base, rng);
+  EXPECT_EQ(phys.device.num_qubits(), base.device.num_qubits());
+  EXPECT_EQ(phys.device.num_edges(), base.device.num_edges());
+  const fuzz::Instance comm = fuzz::commuting_reorder(base, rng);
+  EXPECT_EQ(comm.circuit.num_gates(), base.circuit.num_gates());
+  const fuzz::Instance rev = fuzz::reverse_circuit(base);
+  ASSERT_EQ(rev.circuit.num_gates(), base.circuit.num_gates());
+  for (int i = 0; i < base.circuit.num_gates(); ++i) {
+    EXPECT_EQ(rev.circuit.gate(i),
+              base.circuit.gate(base.circuit.num_gates() - 1 - i));
+  }
+  const fuzz::Instance pad = fuzz::pad_front_layer(base);
+  EXPECT_EQ(pad.circuit.num_gates(),
+            base.circuit.num_gates() + base.circuit.num_qubits());
+}
+
+TEST(FuzzOracles, MetamorphicCleanOnSeveralSeeds) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const fuzz::Instance inst = fuzz::random_instance(seed);
+    const fuzz::OracleReport r = fuzz::check_metamorphic(inst, seed);
+    for (const std::string& e : r.errors) ADD_FAILURE() << e;
+    EXPECT_TRUE(r.ok) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------------------------ reducer
+
+TEST(FuzzReduce, ShrinksToSingleTriggeringGate) {
+  // Synthetic failure: "the circuit contains a cx gate". The reducer should
+  // strip everything else and keep exactly one cx.
+  fuzz::GeneratorOptions gen;
+  gen.min_gates = 10;
+  gen.max_gates = 12;
+  fuzz::Instance failing = fuzz::random_instance(5, gen);
+  bool has_cx = false;
+  for (const circuit::Gate& g : failing.circuit.gates()) {
+    has_cx |= g.name == "cx";
+  }
+  if (!has_cx) failing.circuit.add_gate("cx", 0, 1);
+  const auto predicate = [](const fuzz::Instance& c) {
+    for (const circuit::Gate& g : c.circuit.gates()) {
+      if (g.name == "cx") return true;
+    }
+    return false;
+  };
+  const fuzz::ReduceResult r = fuzz::reduce(failing, predicate);
+  EXPECT_TRUE(r.input_failed);
+  EXPECT_EQ(r.instance.circuit.num_gates(), 1);
+  EXPECT_EQ(r.instance.circuit.gate(0).name, "cx");
+  EXPECT_EQ(r.instance.circuit.num_qubits(), 2);  // compacted
+  EXPECT_TRUE(predicate(r.instance));
+}
+
+TEST(FuzzReduce, NonFailingInputReturnedUnchanged) {
+  const fuzz::Instance inst = fuzz::random_instance(9);
+  const fuzz::ReduceResult r =
+      fuzz::reduce(inst, [](const fuzz::Instance&) { return false; });
+  EXPECT_FALSE(r.input_failed);
+  EXPECT_EQ(r.instance.circuit, inst.circuit);
+  EXPECT_EQ(r.predicate_calls, 1);
+}
+
+// ------------------------------------------------------------------- corpus
+
+TEST(FuzzCorpusIo, DeviceJsonRoundTrip) {
+  const fuzz::Instance inst = fuzz::random_instance(3);
+  const std::string json =
+      fuzz::device_to_json(inst.device, inst.swap_duration);
+  const fuzz::DeviceSpec spec = fuzz::device_from_json(json);
+  EXPECT_EQ(spec.device.num_qubits(), inst.device.num_qubits());
+  EXPECT_EQ(spec.device.num_edges(), inst.device.num_edges());
+  EXPECT_EQ(spec.swap_duration, inst.swap_duration);
+}
+
+TEST(FuzzCorpusIo, MalformedJsonRejected) {
+  EXPECT_THROW(fuzz::device_from_json("{}"), std::runtime_error);
+  EXPECT_THROW(fuzz::device_from_json("{\"qubits\": 2}"), std::runtime_error);
+  EXPECT_THROW(
+      fuzz::device_from_json(
+          "{\"qubits\": 2, \"edges\": [[0,5]]}"),
+      std::runtime_error);
+  EXPECT_THROW(
+      fuzz::device_from_json("{\"qubits\": 0, \"edges\": []}"),
+      std::runtime_error);
+  EXPECT_THROW(fuzz::device_from_json("not json"), std::runtime_error);
+}
+
+TEST(FuzzCorpusIo, SaveLoadListRoundTrip) {
+  const std::string dir = ::testing::TempDir() + "fuzz_corpus_io";
+  const fuzz::Instance inst = fuzz::random_instance(21);
+  fuzz::save_case(dir, "case_a", inst);
+  fuzz::save_case(dir, "case_b", fuzz::random_instance(22));
+  const auto names = fuzz::list_cases(dir);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "case_a");
+  EXPECT_EQ(names[1], "case_b");
+  const auto all = fuzz::load_all_cases(dir);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].circuit, inst.circuit);
+  EXPECT_EQ(all[0].swap_duration, inst.swap_duration);
+  EXPECT_TRUE(fuzz::list_cases(dir + "/does_not_exist").empty());
+}
+
+// ----------------------------------------------------- end-to-end self-test
+
+TEST(FuzzEndToEnd, CleanLibraryPassesShortRun) {
+  fuzz::FuzzOptions options;
+  options.seed = 2024;
+  options.iterations = 8;
+  const fuzz::FuzzReport report = fuzz::run_fuzz(options);
+  for (const fuzz::FuzzFailure& f : report.failures) {
+    for (const std::string& e : f.errors) ADD_FAILURE() << e;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.iterations, 8);
+  EXPECT_EQ(report.instance_checks + report.sat_core_checks, 8);
+}
+
+TEST(FuzzEndToEnd, InjectedEncodingBugCaughtAndReduced) {
+  // The acceptance gate for the whole subsystem: flip on the deliberate
+  // injectivity hole in layout/model.cpp and demand that the fuzzer finds
+  // it and the reducer shrinks it to a trivially small repro.
+  ASSERT_EQ(setenv("OLSQ2_FUZZ_INJECT_ENCODING_BUG", "1", 1), 0);
+  fuzz::FuzzOptions options;
+  options.seed = 7;
+  options.iterations = 50;
+  options.stop_on_failure = true;
+  options.corpus_dir = ::testing::TempDir() + "fuzz_injected";
+  const fuzz::FuzzReport report = fuzz::run_fuzz(options);
+  ASSERT_EQ(unsetenv("OLSQ2_FUZZ_INJECT_ENCODING_BUG"), 0);
+
+  ASSERT_FALSE(report.failures.empty()) << "injected bug was not caught";
+  const fuzz::FuzzFailure& f = report.failures.front();
+  EXPECT_EQ(f.oracle, "encoding_differential");
+  ASSERT_TRUE(f.reduced.has_value());
+  EXPECT_LE(f.reduced->circuit.num_gates(), 5);
+  ASSERT_EQ(f.saved_paths.size(), 2u);
+  // The saved repro still fails while the bug is on, and the identical
+  // instance is clean after the flag is cleared (the flag is re-read per
+  // model build).
+  const fuzz::Instance repro =
+      fuzz::load_case(f.saved_paths[0], f.saved_paths[1]);
+  EXPECT_TRUE(fuzz::check_encoding_differential(repro).ok);
+  ASSERT_EQ(setenv("OLSQ2_FUZZ_INJECT_ENCODING_BUG", "1", 1), 0);
+  EXPECT_FALSE(fuzz::check_encoding_differential(repro).ok);
+  ASSERT_EQ(unsetenv("OLSQ2_FUZZ_INJECT_ENCODING_BUG"), 0);
+}
+
+}  // namespace
+}  // namespace olsq2

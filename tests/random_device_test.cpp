@@ -3,6 +3,7 @@
 // on topologies no preset covers.
 #include <gtest/gtest.h>
 
+#include "bengen/graphgen.h"
 #include "bengen/rng.h"
 #include "bengen/workloads.h"
 #include "device/device.h"
@@ -13,32 +14,13 @@
 namespace olsq2::layout {
 namespace {
 
-// Random connected device: a spanning tree plus extra random edges.
+// Random connected device on top of the shared coupling-graph generator
+// (also used by the fuzzer's instance generator, src/fuzz/generator.cpp).
 device::Device random_device(int qubits, int extra_edges, std::uint64_t seed) {
   bengen::Rng rng(seed);
   std::vector<device::Edge> edges;
-  std::vector<int> order(qubits);
-  for (int i = 0; i < qubits; ++i) order[i] = i;
-  rng.shuffle(order);
-  for (int i = 1; i < qubits; ++i) {
-    edges.push_back({order[rng.below_int(i)], order[i]});
-  }
-  int added = 0;
-  int guard = 0;
-  while (added < extra_edges && ++guard < 100) {
-    const int a = rng.below_int(qubits);
-    const int b = rng.below_int(qubits);
-    if (a == b) continue;
-    bool duplicate = false;
-    for (const auto& e : edges) {
-      if ((e.p0 == a && e.p1 == b) || (e.p0 == b && e.p1 == a)) {
-        duplicate = true;
-        break;
-      }
-    }
-    if (duplicate) continue;
-    edges.push_back({a, b});
-    added++;
+  for (const auto& [u, v] : bengen::random_connected_graph(qubits, extra_edges, rng)) {
+    edges.push_back({u, v});
   }
   return device::Device("random" + std::to_string(seed), qubits,
                         std::move(edges));
