@@ -1,13 +1,11 @@
 #include "fuzz/corpus.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
-#include "obs/json_escape.h"
 #include "qasm/parser.h"
 #include "qasm/writer.h"
 
@@ -15,86 +13,7 @@ namespace olsq2::fuzz {
 
 namespace fs = std::filesystem;
 
-std::string device_to_json(const device::Device& device, int swap_duration) {
-  std::ostringstream out;
-  out << "{\"name\": \"" << obs::json_escape(device.name())
-      << "\", \"qubits\": " << device.num_qubits()
-      << ", \"swap_duration\": " << swap_duration << ", \"edges\": [";
-  for (int e = 0; e < device.num_edges(); ++e) {
-    if (e > 0) out << ", ";
-    out << "[" << device.edge(e).p0 << "," << device.edge(e).p1 << "]";
-  }
-  out << "]}\n";
-  return out.str();
-}
-
 namespace {
-
-// Minimal scanner for the fixed schema above - no external JSON dependency
-// anywhere in the repo, and corpus files are machine-written.
-class JsonScanner {
- public:
-  explicit JsonScanner(std::string_view text) : text_(text) {}
-
-  [[noreturn]] void fail(const std::string& message) const {
-    throw std::runtime_error("device json: " + message);
-  }
-
-  void skip_space() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      pos_++;
-    }
-  }
-
-  bool accept(char c) {
-    skip_space();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      pos_++;
-      return true;
-    }
-    return false;
-  }
-
-  void expect(char c) {
-    if (!accept(c)) fail(std::string("expected '") + c + "'");
-  }
-
-  std::string string_value() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) pos_++;
-      out += text_[pos_++];
-    }
-    expect('"');
-    return out;
-  }
-
-  int int_value() {
-    skip_space();
-    bool negative = false;
-    if (pos_ < text_.size() && text_[pos_] == '-') {
-      negative = true;
-      pos_++;
-    }
-    if (pos_ >= text_.size() ||
-        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      fail("expected integer");
-    }
-    long value = 0;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      value = value * 10 + (text_[pos_++] - '0');
-      if (value > 1000000) fail("integer out of range");
-    }
-    return static_cast<int>(negative ? -value : value);
-  }
-
- private:
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -105,59 +24,6 @@ std::string read_file(const std::string& path) {
 }
 
 }  // namespace
-
-DeviceSpec device_from_json(std::string_view json) {
-  JsonScanner scan(json);
-  std::string name = "corpusdev";
-  int qubits = -1;
-  int swap_duration = 1;
-  std::vector<device::Edge> edges;
-  bool have_edges = false;
-
-  scan.expect('{');
-  if (!scan.accept('}')) {
-    do {
-      const std::string key = scan.string_value();
-      scan.expect(':');
-      if (key == "name") {
-        name = scan.string_value();
-      } else if (key == "qubits") {
-        qubits = scan.int_value();
-      } else if (key == "swap_duration") {
-        swap_duration = scan.int_value();
-      } else if (key == "edges") {
-        scan.expect('[');
-        have_edges = true;
-        if (!scan.accept(']')) {
-          do {
-            scan.expect('[');
-            const int p0 = scan.int_value();
-            scan.expect(',');
-            const int p1 = scan.int_value();
-            scan.expect(']');
-            edges.push_back({p0, p1});
-          } while (scan.accept(','));
-          scan.expect(']');
-        }
-      } else {
-        scan.fail("unknown key '" + key + "'");
-      }
-    } while (scan.accept(','));
-    scan.expect('}');
-  }
-
-  if (qubits < 1) scan.fail("missing or invalid \"qubits\"");
-  if (!have_edges) scan.fail("missing \"edges\"");
-  if (swap_duration < 1) scan.fail("invalid \"swap_duration\"");
-  for (const device::Edge& e : edges) {
-    if (e.p0 < 0 || e.p0 >= qubits || e.p1 < 0 || e.p1 >= qubits ||
-        e.p0 == e.p1) {
-      scan.fail("edge endpoint out of range");
-    }
-  }
-  return DeviceSpec{device::Device(name, qubits, std::move(edges)),
-                    swap_duration};
-}
 
 std::pair<std::string, std::string> save_case(const std::string& dir,
                                               const std::string& name,

@@ -13,21 +13,16 @@
 #include <string>
 #include <vector>
 
+#include "device/json.h"
 #include "fuzz/generator.h"
 
 namespace olsq2::fuzz {
 
-/// Serialize a device (+ the instance's SWAP duration) as JSON.
-std::string device_to_json(const device::Device& device, int swap_duration);
-
-struct DeviceSpec {
-  device::Device device;
-  int swap_duration = 1;
-};
-
-/// Parse the JSON produced by device_to_json. Throws std::runtime_error on
-/// malformed input.
-DeviceSpec device_from_json(std::string_view json);
+// The device JSON schema now lives in device/json.h (the serve layer reads
+// the same documents); these aliases keep the corpus call sites stable.
+using device::device_from_json;
+using device::device_to_json;
+using device::DeviceSpec;
 
 /// Write `<dir>/<name>.qasm` and `<dir>/<name>.device.json` (creating the
 /// directory if needed). Returns the two paths written.

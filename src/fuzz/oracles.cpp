@@ -16,6 +16,7 @@
 #include "sat/drat_check.h"
 #include "sat/proof.h"
 #include "sat/solver.h"
+#include "serve/batch.h"
 
 namespace olsq2::fuzz {
 
@@ -302,12 +303,109 @@ OracleReport check_sat_core(std::uint64_t seed) {
   return report;
 }
 
+OracleReport check_cache(const Instance& instance, std::uint64_t seed) {
+  OracleReport report;
+  report.oracle = "cache";
+  bengen::Rng rng(seed ^ 0x5e12eULL);
+
+  struct Variant {
+    std::string name;
+    Instance instance;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"relabel_program", relabel_program_qubits(instance, rng)});
+  variants.push_back(
+      {"relabel_physical", relabel_physical_qubits(instance, rng)});
+  variants.push_back({"commuting_reorder", commuting_reorder(instance, rng)});
+
+  serve::Server server;  // memory-only cache
+  serve::Request base_request;
+  base_request.circuit = &instance.circuit;
+  base_request.device = &instance.device;
+  base_request.swap_duration = instance.swap_duration;
+  base_request.engine = serve::Engine::kSwap;
+  base_request.options.time_budget_ms = kBudgetMs;
+
+  const serve::Response cold = server.serve(base_request);
+  if (!cold.result.solved || cold.result.hit_budget) {
+    report.fail(describe(instance) + ": cache: cold solve failed" +
+                (cold.result.hit_budget ? " (budget)" : ""));
+    return report;
+  }
+  if (cold.cache_hit) {
+    report.fail(describe(instance) +
+                ": cache: hit reported against an empty cache");
+  }
+  check_verified(report, instance.problem(), cold.result,
+                 describe(instance) + ": cache cold");
+
+  for (const Variant& v : variants) {
+    serve::Request request = base_request;
+    request.circuit = &v.instance.circuit;
+    request.device = &v.instance.device;
+    request.swap_duration = v.instance.swap_duration;
+    const serve::Response warm = server.serve(request);
+    if (!warm.result.solved) {
+      report.fail(describe(instance) + ": cache: " + v.name +
+                  ": warm solve failed");
+      continue;
+    }
+    // Exact canonical searches guarantee key collision for genuinely
+    // equivalent instances; a miss there means the canonical form is not
+    // invariant under the transform - exactly the bug class this oracle
+    // exists to catch.
+    if (cold.canonical_exact && warm.canonical_exact && !warm.cache_hit) {
+      report.fail(describe(instance) + ": cache: " + v.name +
+                  ": canonical keys failed to collide (" + cold.key +
+                  " vs " + warm.key + ")");
+    }
+    // The un-relabeled cached result must be a valid layout for the
+    // *variant* instance, and its objectives must agree with what a cold
+    // solve of the variant would find (metamorphic invariance).
+    check_verified(report, v.instance.problem(), warm.result,
+                   describe(instance) + ": cache: " + v.name + " (warm)");
+    if (warm.result.depth != cold.result.depth ||
+        warm.result.swap_count != cold.result.swap_count) {
+      report.fail(describe(instance) + ": cache: " + v.name +
+                  ": warm objectives (" + std::to_string(warm.result.depth) +
+                  "," + std::to_string(warm.result.swap_count) +
+                  ") != cold (" + std::to_string(cold.result.depth) + "," +
+                  std::to_string(cold.result.swap_count) + ")");
+    }
+  }
+
+  // Cold-vs-warm agreement: a fresh server (no cache to hit) solving a
+  // variant from scratch must reproduce the objectives the warm path
+  // answered from cache.
+  serve::Server fresh;
+  serve::Request request = base_request;
+  request.circuit = &variants.front().instance.circuit;
+  request.device = &variants.front().instance.device;
+  request.swap_duration = variants.front().instance.swap_duration;
+  const serve::Response recold = fresh.serve(request);
+  if (!recold.result.solved || recold.result.hit_budget) {
+    report.fail(describe(instance) + ": cache: variant cold solve failed");
+  } else if (recold.result.depth != cold.result.depth ||
+             recold.result.swap_count != cold.result.swap_count) {
+    report.fail(describe(instance) +
+                ": cache: cold-vs-warm objective mismatch: fresh solve found "
+                "(" +
+                std::to_string(recold.result.depth) + "," +
+                std::to_string(recold.result.swap_count) + ") vs cached (" +
+                std::to_string(cold.result.depth) + "," +
+                std::to_string(cold.result.swap_count) + ")");
+  }
+  return report;
+}
+
 OracleReport check_instance(const Instance& instance, std::uint64_t seed) {
   OracleReport report = check_encoding_differential(instance);
   if (!report.ok) return report;
   report = check_engine_differential(instance);
   if (!report.ok) return report;
-  return check_metamorphic(instance, seed);
+  report = check_metamorphic(instance, seed);
+  if (!report.ok) return report;
+  return check_cache(instance, seed);
 }
 
 }  // namespace olsq2::fuzz

@@ -41,9 +41,16 @@ OracleReport check_engine_differential(const Instance& instance);
 /// `seed` drives the random permutations inside the transforms.
 OracleReport check_metamorphic(const Instance& instance, std::uint64_t seed);
 OracleReport check_sat_core(std::uint64_t seed);
+/// Serve-layer cache equivalence: for relabeled/reordered variants of the
+/// instance, (1) canonical cache keys collide (when both canonical
+/// searches are exact), (2) the un-relabeled cached result passes
+/// layout::verify against the *variant* problem, and (3) warm (cache-hit)
+/// objectives agree with a cold solve of the same variant.
+OracleReport check_cache(const Instance& instance, std::uint64_t seed);
 
-/// All instance-level oracles in sequence (encoding, engine, metamorphic);
-/// stops at the first failing report. This is the reducer's predicate.
+/// All instance-level oracles in sequence (encoding, engine, metamorphic,
+/// cache); stops at the first failing report. This is the reducer's
+/// predicate.
 OracleReport check_instance(const Instance& instance, std::uint64_t seed);
 
 }  // namespace olsq2::fuzz

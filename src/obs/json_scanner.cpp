@@ -1,0 +1,163 @@
+#include "obs/json_scanner.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace olsq2::obs {
+
+void JsonScanner::fail(const std::string& message) const {
+  throw std::runtime_error(context_ + ": " + message);
+}
+
+void JsonScanner::skip_space() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    pos_++;
+  }
+}
+
+bool JsonScanner::accept(char c) {
+  skip_space();
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    pos_++;
+    return true;
+  }
+  return false;
+}
+
+void JsonScanner::expect(char c) {
+  if (!accept(c)) fail(std::string("expected '") + c + "'");
+}
+
+char JsonScanner::peek() {
+  skip_space();
+  return pos_ < text_.size() ? text_[pos_] : '\0';
+}
+
+std::string JsonScanner::string_value() {
+  expect('"');
+  std::string out;
+  while (pos_ < text_.size() && text_[pos_] != '"') {
+    char c = text_[pos_++];
+    if (c == '\\' && pos_ < text_.size()) {
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case 'b': c = '\b'; break;
+        case 'f': c = '\f'; break;
+        default: c = esc; break;  // \" \\ \/ and anything else verbatim
+      }
+    }
+    out += c;
+  }
+  expect('"');
+  return out;
+}
+
+int JsonScanner::int_value() {
+  skip_space();
+  bool negative = false;
+  if (pos_ < text_.size() && text_[pos_] == '-') {
+    negative = true;
+    pos_++;
+  }
+  if (pos_ >= text_.size() ||
+      !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+    fail("expected integer");
+  }
+  long value = 0;
+  while (pos_ < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+    value = value * 10 + (text_[pos_++] - '0');
+    if (value > 1000000000L) fail("integer out of range");
+  }
+  return static_cast<int>(negative ? -value : value);
+}
+
+double JsonScanner::double_value() {
+  skip_space();
+  std::size_t start = pos_;
+  if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) pos_++;
+  auto digits = [&] {
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  };
+  digits();
+  if (pos_ < text_.size() && text_[pos_] == '.') {
+    pos_++;
+    digits();
+  }
+  if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    pos_++;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      pos_++;
+    }
+    digits();
+  }
+  if (pos_ == start) fail("expected number");
+  return std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                     nullptr);
+}
+
+bool JsonScanner::bool_value() {
+  skip_space();
+  if (text_.substr(pos_, 4) == "true") {
+    pos_ += 4;
+    return true;
+  }
+  if (text_.substr(pos_, 5) == "false") {
+    pos_ += 5;
+    return false;
+  }
+  fail("expected true/false");
+}
+
+void JsonScanner::skip_value() {
+  const char c = peek();
+  if (c == '"') {
+    string_value();
+  } else if (c == '{') {
+    expect('{');
+    if (!accept('}')) {
+      do {
+        string_value();
+        expect(':');
+        skip_value();
+      } while (accept(','));
+      expect('}');
+    }
+  } else if (c == '[') {
+    expect('[');
+    if (!accept(']')) {
+      do {
+        skip_value();
+      } while (accept(','));
+      expect(']');
+    }
+  } else if (c == 't' || c == 'f') {
+    bool_value();
+  } else if (text_.substr(pos_, 4) == "null") {
+    pos_ += 4;
+  } else {
+    double_value();
+  }
+}
+
+std::string_view JsonScanner::raw_value() {
+  skip_space();
+  const std::size_t start = pos_;
+  skip_value();
+  return text_.substr(start, pos_ - start);
+}
+
+bool JsonScanner::at_end() {
+  skip_space();
+  return pos_ >= text_.size();
+}
+
+}  // namespace olsq2::obs

@@ -57,8 +57,24 @@ class ClauseExchange {
 
   /// Register a solver in sharing group `group`. Returns the solver's id
   /// for publish()/collect(). Clauses are delivered only between members
-  /// of the same group.
+  /// of the same group. Groups are additionally namespaced by the current
+  /// problem key (see begin_problem), so a reused hub can never deliver
+  /// clauses across problem boundaries even when two problems' encoding
+  /// fingerprints coincide (relabeled instances have identical var/clause
+  /// counts).
   int add_solver(const std::string& group);
+
+  /// Declare the problem the hub is about to serve. Bound facts are
+  /// statements about a *problem*, not about any CNF, so they must not
+  /// survive a switch to a different problem: a depth-UNSAT fact recorded
+  /// for instance A would wrongly prune instance B's bound search and
+  /// corrupt its reported optimum. When `key` differs from the current
+  /// problem key every bound fact is dropped and the clause backlog is
+  /// cut off; same-key calls are no-ops so repeated registration is cheap.
+  /// Single-problem users (the portfolio, standalone probes) never need to
+  /// call this - a fresh hub starts with an empty key that any first
+  /// problem extends.
+  void begin_problem(const std::string& key);
 
   /// Offer a learnt clause to the hub. Units and binaries always pass;
   /// larger clauses must satisfy both the size and LBD thresholds.
@@ -143,6 +159,7 @@ class ClauseExchange {
   Options options_;
 
   mutable std::mutex mutex_;          // guards buffer_, solvers_, groups_
+  std::string problem_key_;           // namespace for group registration
   std::deque<SharedClause> buffer_;   // clause seq i lives at buffer_[i - base_seq_]
   std::uint64_t base_seq_ = 0;        // seq of buffer_.front()
   std::atomic<std::uint64_t> next_seq_{0};

@@ -1,0 +1,194 @@
+#include "serve/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "layout/json.h"
+#include "obs/json_escape.h"
+#include "obs/json_scanner.h"
+#include "obs/obs.h"
+
+namespace olsq2::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string certificate_json(const layout::Certificate& c) {
+  std::ostringstream out;
+  out << "{\"infeasible\":" << (c.infeasible ? "true" : "false")
+      << ",\"proof_checked\":" << (c.proof_checked ? "true" : "false")
+      << ",\"refutation_complete\":"
+      << (c.refutation_complete ? "true" : "false")
+      << ",\"proof_steps\":" << c.proof_steps << ",\"wall_ms\":" << c.wall_ms
+      << "}";
+  return out.str();
+}
+
+layout::Certificate certificate_from(obs::JsonScanner& scan) {
+  layout::Certificate c;
+  scan.expect('{');
+  if (!scan.accept('}')) {
+    do {
+      const std::string key = scan.string_value();
+      scan.expect(':');
+      if (key == "infeasible") {
+        c.infeasible = scan.bool_value();
+      } else if (key == "proof_checked") {
+        c.proof_checked = scan.bool_value();
+      } else if (key == "refutation_complete") {
+        c.refutation_complete = scan.bool_value();
+      } else if (key == "proof_steps") {
+        c.proof_steps = static_cast<std::size_t>(scan.int_value());
+      } else if (key == "wall_ms") {
+        c.wall_ms = scan.double_value();
+      } else {
+        scan.skip_value();
+      }
+    } while (scan.accept(','));
+    scan.expect('}');
+  }
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+ResultCache::ResultCache(CacheOptions options) : options_(std::move(options)) {
+  if (options_.max_entries == 0) options_.max_entries = 1;
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  std::ostringstream name;
+  name << std::hex << fnv1a64(key);
+  return options_.disk_dir + "/" + name.str() + ".json";
+}
+
+void ResultCache::touch(const std::string& key, CacheEntry entry) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) lru_.erase(it->second);
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  while (lru_.size() > options_.max_entries) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    stats_.evictions++;
+  }
+}
+
+std::optional<CacheEntry> ResultCache::lookup(const std::string& key) {
+  obs::Span span("serve.cache.lookup");
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    CacheEntry entry = it->second->second;
+    touch(key, entry);
+    stats_.hits++;
+    obs::counter("serve.cache.hits", static_cast<double>(stats_.hits));
+    if (span.live()) span.arg("tier", "memory");
+    return entry;
+  }
+  if (!options_.disk_dir.empty()) {
+    std::ifstream in(path_for(key));
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const std::string text = buffer.str();
+      std::string stored_key;
+      CacheEntry entry = entry_from_json(text, &stored_key);
+      if (stored_key == key) {  // byte-for-byte: hash collisions are misses
+        stats_.bytes_read += text.size();
+        obs::counter("serve.cache.bytes",
+                     static_cast<double>(stats_.bytes_read +
+                                         stats_.bytes_written));
+        touch(key, entry);
+        stats_.hits++;
+        stats_.disk_hits++;
+        obs::counter("serve.cache.hits", static_cast<double>(stats_.hits));
+        if (span.live()) span.arg("tier", "disk");
+        return entry;
+      }
+      stats_.key_collisions++;
+    }
+  }
+  stats_.misses++;
+  obs::counter("serve.cache.misses", static_cast<double>(stats_.misses));
+  if (span.live()) span.arg("tier", "miss");
+  return std::nullopt;
+}
+
+bool ResultCache::insert(const std::string& key, const CacheEntry& entry) {
+  obs::Span span("serve.cache.insert");
+  if (!entry.result.solved) return false;
+  touch(key, entry);
+  stats_.inserts++;
+  if (!options_.disk_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options_.disk_dir, ec);
+    const std::string text = entry_to_json(key, entry);
+    std::ofstream out(path_for(key));
+    if (out) {
+      out << text;
+      stats_.bytes_written += text.size();
+      obs::counter("serve.cache.bytes",
+                   static_cast<double>(stats_.bytes_read +
+                                       stats_.bytes_written));
+    }
+  }
+  if (span.live()) span.arg("entries", static_cast<int>(lru_.size()));
+  return true;
+}
+
+std::string ResultCache::entry_to_json(const std::string& key,
+                                       const CacheEntry& entry) {
+  std::ostringstream out;
+  out << "{\"key\":\"" << obs::json_escape(key) << "\",\"result\":"
+      << layout::result_to_cache_json(entry.result);
+  if (entry.has_depth_cert) {
+    out << ",\"depth_cert\":" << certificate_json(entry.depth_cert);
+  }
+  if (entry.has_swap_cert) {
+    out << ",\"swap_cert\":" << certificate_json(entry.swap_cert);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+CacheEntry ResultCache::entry_from_json(std::string_view json,
+                                        std::string* key_out) {
+  obs::JsonScanner scan(json, "cache entry json");
+  CacheEntry entry;
+  scan.expect('{');
+  if (!scan.accept('}')) {
+    do {
+      const std::string key = scan.string_value();
+      scan.expect(':');
+      if (key == "key") {
+        *key_out = scan.string_value();
+      } else if (key == "result") {
+        entry.result = layout::result_from_cache_json(scan.raw_value());
+      } else if (key == "depth_cert") {
+        entry.depth_cert = certificate_from(scan);
+        entry.has_depth_cert = true;
+      } else if (key == "swap_cert") {
+        entry.swap_cert = certificate_from(scan);
+        entry.has_swap_cert = true;
+      } else {
+        scan.skip_value();
+      }
+    } while (scan.accept(','));
+    scan.expect('}');
+  }
+  return entry;
+}
+
+}  // namespace olsq2::serve

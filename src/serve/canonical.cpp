@@ -1,0 +1,447 @@
+#include "serve/canonical.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "circuit/dependency.h"
+#include "obs/obs.h"
+
+namespace olsq2::serve {
+
+namespace {
+
+// Individualization-refinement node budget. Refinement discretizes most
+// real coupling graphs and circuits after one or two individualizations;
+// the budget only triggers on highly symmetric inputs (large grids, empty
+// circuits), where the fallback costs cache hits, not correctness.
+constexpr int kLeafBudget = 2048;
+
+/// Densify arbitrary color values into ranks 0..k-1 preserving order.
+int densify(std::vector<int>& colors) {
+  std::vector<int> sorted(colors);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (int& c : colors) {
+    c = static_cast<int>(std::lower_bound(sorted.begin(), sorted.end(), c) -
+                         sorted.begin());
+  }
+  return static_cast<int>(sorted.size());
+}
+
+/// Generic WL-style refinement: `signature(v, colors)` must be
+/// label-invariant given invariant colors. Runs to a fixpoint.
+template <typename SigFn>
+std::vector<int> refine_colors(int n, std::vector<int> colors,
+                               const SigFn& signature) {
+  int classes = densify(colors);
+  while (classes < n) {
+    std::map<std::vector<int>, int> rank;
+    std::vector<std::vector<int>> sigs(n);
+    for (int v = 0; v < n; ++v) {
+      sigs[v] = signature(v, colors);
+      rank.emplace(sigs[v], 0);
+    }
+    int next = 0;
+    for (auto& [sig, r] : rank) r = next++;
+    std::vector<int> refined(n);
+    for (int v = 0; v < n; ++v) refined[v] = rank[sigs[v]];
+    if (next == classes) break;  // partition stable
+    colors = std::move(refined);
+    classes = next;
+  }
+  return colors;
+}
+
+/// First color class with more than one member; -1 when discrete. Classes
+/// are scanned in color order, so the choice is label-invariant.
+int first_ambiguous_class(const std::vector<int>& colors, int n) {
+  std::vector<int> count(n, 0);
+  for (const int c : colors) count[c]++;
+  for (int c = 0; c < n; ++c) {
+    if (count[c] > 1) return c;
+  }
+  return -1;
+}
+
+/// Split class `cls` so that `v` keeps the class color and its former
+/// classmates move to the next color (all higher colors shift up one).
+std::vector<int> individualize(const std::vector<int>& colors, int cls,
+                               int v) {
+  std::vector<int> child(colors);
+  for (std::size_t u = 0; u < child.size(); ++u) {
+    if (child[u] > cls) child[u]++;
+    if (child[u] == cls && static_cast<int>(u) != v) child[u]++;
+  }
+  return child;
+}
+
+/// Shared individualization-refinement skeleton. `refine` maps colors to a
+/// stable refinement; `serialize` turns a discrete coloring (colors ==
+/// labels) into the candidate key. Minimizes the key over every branch,
+/// which makes the result invariant: automorphic candidates yield equal
+/// keys, non-automorphic ones are separated by the lexicographic order.
+struct CanonSearch {
+  int n = 0;
+  std::function<std::vector<int>(std::vector<int>)> refine;
+  std::function<std::string(const std::vector<int>&)> serialize;
+
+  int leaves_used = 0;
+  bool budget_hit = false;
+  std::string best_key;
+  std::vector<int> best_labels;
+
+  void run(std::vector<int> colors) { visit(std::move(colors)); }
+
+  void visit(std::vector<int> colors) {
+    colors = refine(std::move(colors));
+    const int cls = first_ambiguous_class(colors, n);
+    if (cls < 0) {
+      leaves_used++;
+      std::string key = serialize(colors);
+      if (best_key.empty() || key < best_key) {
+        best_key = std::move(key);
+        best_labels = std::move(colors);
+      }
+      return;
+    }
+    if (leaves_used >= kLeafBudget) {
+      // Budget exhausted: finish this branch without further branching by
+      // always individualizing the lowest-index member. Deterministic and
+      // sound (the key still serializes a genuine relabeling), but no
+      // longer invariant under relabeling of the input.
+      budget_hit = true;
+      while (true) {
+        const int c = first_ambiguous_class(colors, n);
+        if (c < 0) break;
+        int pick = -1;
+        for (int v = 0; v < n; ++v) {
+          if (colors[v] == c) {
+            pick = v;
+            break;
+          }
+        }
+        colors = refine(individualize(colors, c, pick));
+      }
+      leaves_used++;
+      std::string key = serialize(colors);
+      if (best_key.empty() || key < best_key) {
+        best_key = std::move(key);
+        best_labels = std::move(colors);
+      }
+      return;
+    }
+    for (int v = 0; v < n; ++v) {
+      if (colors[v] != cls) continue;
+      visit(individualize(colors, cls, v));
+      if (budget_hit) return;  // the fallback leaf already closed this run
+    }
+  }
+};
+
+std::string serialize_device(const device::Device& dev,
+                             const std::vector<int>& labels) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(dev.num_edges());
+  for (const device::Edge& e : dev.edges()) {
+    const int a = labels[e.p0];
+    const int b = labels[e.p1];
+    edges.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(edges.begin(), edges.end());
+  std::ostringstream out;
+  out << "D" << dev.num_qubits() << ":";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i) out << ",";
+    out << edges[i].first << "-" << edges[i].second;
+  }
+  return out.str();
+}
+
+/// One gate occurrence on a qubit: (level, gate token). Tokens are dense
+/// ranks of "name(params)" strings - label-invariant by construction. The
+/// operand position (q0 vs q1) is deliberately NOT part of the invariant:
+/// layout synthesis only constrains the mapped pair's adjacency, so the
+/// canonical form also quotients by two-qubit operand orientation.
+struct Occurrence {
+  int level;
+  int token;
+  int gate;     // original gate index
+  int partner;  // partner qubit, -1 for single-qubit gates
+
+  auto invariant_part() const { return std::tie(level, token); }
+};
+
+}  // namespace
+
+std::vector<int> invert_permutation(const std::vector<int>& perm) {
+  std::vector<int> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    inv[perm[i]] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+DeviceCanon canonicalize_device(const device::Device& dev) {
+  obs::Span span("serve.canonicalize.device");
+  const int n = dev.num_qubits();
+  DeviceCanon canon;
+  if (n == 0) {
+    canon.key = "D0:";
+    return canon;
+  }
+
+  const auto signature = [&](int v, const std::vector<int>& colors) {
+    std::vector<int> sig{colors[v]};
+    std::vector<int> neigh;
+    neigh.reserve(dev.neighbors(v).size());
+    for (const int u : dev.neighbors(v)) neigh.push_back(colors[u]);
+    std::sort(neigh.begin(), neigh.end());
+    sig.insert(sig.end(), neigh.begin(), neigh.end());
+    return sig;
+  };
+
+  CanonSearch search;
+  search.n = n;
+  search.refine = [&](std::vector<int> colors) {
+    return refine_colors(n, std::move(colors), signature);
+  };
+  search.serialize = [&](const std::vector<int>& labels) {
+    return serialize_device(dev, labels);
+  };
+  // Seed: degree classes.
+  std::vector<int> colors(n);
+  for (int v = 0; v < n; ++v) {
+    colors[v] = static_cast<int>(dev.neighbors(v).size());
+  }
+  search.run(std::move(colors));
+
+  canon.perm = search.best_labels;
+  canon.key = search.best_key;
+  canon.exact = !search.budget_hit;
+  if (span.live()) {
+    span.arg("qubits", n);
+    span.arg("leaves", search.leaves_used);
+    span.arg("exact", canon.exact);
+  }
+  return canon;
+}
+
+CircuitCanon canonicalize_circuit(const circuit::Circuit& circ) {
+  obs::Span span("serve.canonicalize.circuit");
+  const int nq = circ.num_qubits();
+  const int ng = circ.num_gates();
+  const circuit::DependencyGraph deps(circ);
+
+  // Dense, label-invariant gate tokens.
+  std::map<std::string, int> token_rank;
+  std::vector<int> token(ng);
+  for (int g = 0; g < ng; ++g) {
+    const circuit::Gate& gate = circ.gate(g);
+    token_rank.emplace(gate.name + "(" + gate.params + ")", 0);
+  }
+  {
+    int next = 0;
+    for (auto& [name, r] : token_rank) r = next++;
+    for (int g = 0; g < ng; ++g) {
+      const circuit::Gate& gate = circ.gate(g);
+      token[g] = token_rank[gate.name + "(" + gate.params + ")"];
+    }
+  }
+
+  std::vector<std::vector<Occurrence>> occ(nq);
+  for (int g = 0; g < ng; ++g) {
+    const circuit::Gate& gate = circ.gate(g);
+    const int level = deps.chain_depth(g);
+    occ[gate.q0].push_back({level, token[g], g, gate.q1});
+    if (gate.q1 >= 0) {
+      occ[gate.q1].push_back({level, token[g], g, gate.q0});
+    }
+  }
+  for (auto& list : occ) {
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      return a.invariant_part() < b.invariant_part();
+    });
+  }
+
+  // Untouched qubits are fully interchangeable: they appear in no gate, so
+  // any assignment of the trailing labels yields the same canonical gate
+  // list. Excluding them from the search keeps empty-ish circuits from
+  // exploding the branch factor.
+  std::vector<int> touched;
+  for (int q = 0; q < nq; ++q) {
+    if (!occ[q].empty()) touched.push_back(q);
+  }
+  const int nt = static_cast<int>(touched.size());
+
+  const auto signature = [&](int i, const std::vector<int>& colors) {
+    // i indexes `touched`; partner colors refer to touched ranks.
+    std::vector<int> sig{colors[i]};
+    std::vector<std::vector<int>> parts;
+    for (const Occurrence& o : occ[touched[i]]) {
+      int partner_color = -1;
+      if (o.partner >= 0) {
+        const auto it =
+            std::lower_bound(touched.begin(), touched.end(), o.partner);
+        partner_color = colors[it - touched.begin()];
+      }
+      parts.push_back({o.level, o.token, partner_color});
+    }
+    std::sort(parts.begin(), parts.end());
+    for (const auto& p : parts) sig.insert(sig.end(), p.begin(), p.end());
+    return sig;
+  };
+
+  // Canonical gate order under a full qubit labeling: sort by (level,
+  // token, sorted labels). Gates sharing a level act on disjoint qubits,
+  // so the label components make the key total. Labels are compared
+  // orientation-normalized (min first), matching the serialized form.
+  const auto gate_labels = [](const circuit::Gate& gate,
+                              const std::vector<int>& qubit_label) {
+    const int a = qubit_label[gate.q0];
+    const int b = gate.q1 >= 0 ? qubit_label[gate.q1] : -1;
+    return b >= 0 ? std::make_pair(std::min(a, b), std::max(a, b))
+                  : std::make_pair(a, -1);
+  };
+  const auto gate_order = [&](const std::vector<int>& qubit_label) {
+    std::vector<int> order(ng);
+    for (int g = 0; g < ng; ++g) order[g] = g;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const auto key = [&](int g) {
+        return std::make_tuple(deps.chain_depth(g), token[g],
+                               gate_labels(circ.gate(g), qubit_label));
+      };
+      return key(a) < key(b);
+    });
+    return order;
+  };
+
+  const auto full_labels = [&](const std::vector<int>& colors) {
+    // colors: touched ranks 0..nt-1; untouched qubits take nt.. in index
+    // order (invariant: they are not mentioned by the serialized form).
+    std::vector<int> label(nq, -1);
+    for (int i = 0; i < nt; ++i) label[touched[i]] = colors[i];
+    int next = nt;
+    for (int q = 0; q < nq; ++q) {
+      if (label[q] < 0) label[q] = next++;
+    }
+    return label;
+  };
+
+  const auto serialize = [&](const std::vector<int>& colors) {
+    const std::vector<int> label = full_labels(colors);
+    std::ostringstream out;
+    out << "C" << nq << "g" << ng << ":";
+    for (const int g : gate_order(label)) {
+      const circuit::Gate& gate = circ.gate(g);
+      const auto [la, lb] = gate_labels(gate, label);
+      out << deps.chain_depth(g) << "." << gate.name;
+      if (!gate.params.empty()) out << "(" << gate.params << ")";
+      out << "@" << la;
+      if (lb >= 0) out << "," << lb;
+      out << ";";
+    }
+    return out.str();
+  };
+
+  CircuitCanon canon;
+  if (nt == 0) {
+    canon.qubit_perm.resize(nq);
+    for (int q = 0; q < nq; ++q) canon.qubit_perm[q] = q;
+    canon.key = serialize({});
+    return canon;
+  }
+
+  CanonSearch search;
+  search.n = nt;
+  search.refine = [&](std::vector<int> colors) {
+    return refine_colors(nt, std::move(colors), signature);
+  };
+  search.serialize = serialize;
+  // Seed: rank touched qubits by their invariant occurrence lists.
+  {
+    std::vector<std::vector<std::tuple<int, int>>> seeds(nt);
+    std::map<std::vector<std::tuple<int, int>>, int> rank;
+    for (int i = 0; i < nt; ++i) {
+      for (const Occurrence& o : occ[touched[i]]) {
+        seeds[i].push_back(o.invariant_part());
+      }
+      rank.emplace(seeds[i], 0);
+    }
+    int next = 0;
+    for (auto& [seed, r] : rank) r = next++;
+    std::vector<int> colors(nt);
+    for (int i = 0; i < nt; ++i) colors[i] = rank[seeds[i]];
+    search.run(std::move(colors));
+  }
+
+  canon.qubit_perm = full_labels(search.best_labels);
+  canon.key = search.best_key;
+  canon.exact = !search.budget_hit;
+  canon.gate_perm.resize(ng);
+  {
+    const std::vector<int> order = gate_order(canon.qubit_perm);
+    for (int pos = 0; pos < ng; ++pos) canon.gate_perm[order[pos]] = pos;
+  }
+  if (span.live()) {
+    span.arg("qubits", nq);
+    span.arg("gates", ng);
+    span.arg("leaves", search.leaves_used);
+    span.arg("exact", canon.exact);
+  }
+  return canon;
+}
+
+std::string InstanceCanon::instance_key() const {
+  return circuit.key + "|" + device.key + "|S" + std::to_string(swap_duration);
+}
+
+InstanceCanon canonicalize(const circuit::Circuit& circuit,
+                           const device::Device& device, int swap_duration) {
+  obs::Span span("serve.canonicalize");
+  InstanceCanon canon;
+  canon.circuit = canonicalize_circuit(circuit);
+  canon.device = canonicalize_device(device);
+  canon.swap_duration = swap_duration;
+  return canon;
+}
+
+circuit::Circuit apply_circuit_canon(const circuit::Circuit& circ,
+                                     const CircuitCanon& canon) {
+  circuit::Circuit out(circ.num_qubits(), "canon");
+  const std::vector<int> inv = invert_permutation(canon.gate_perm);
+  for (int pos = 0; pos < circ.num_gates(); ++pos) {
+    const circuit::Gate& g = circ.gate(inv[pos]);
+    if (g.is_two_qubit()) {
+      // Orientation-normalized, matching the serialized key: equal keys
+      // must yield byte-identical canonical circuits.
+      const int a = canon.qubit_perm[g.q0];
+      const int b = canon.qubit_perm[g.q1];
+      out.add_gate(g.name, std::min(a, b), std::max(a, b), g.params);
+    } else {
+      out.add_gate(g.name, canon.qubit_perm[g.q0], g.params);
+    }
+  }
+  return out;
+}
+
+device::Device apply_device_canon(const device::Device& dev,
+                                  const DeviceCanon& canon) {
+  std::vector<device::Edge> edges;
+  edges.reserve(dev.num_edges());
+  for (const device::Edge& e : dev.edges()) {
+    const int a = canon.perm[e.p0];
+    const int b = canon.perm[e.p1];
+    edges.push_back({std::min(a, b), std::max(a, b)});
+  }
+  // Sort so every relabeling-equivalent original builds the *identical*
+  // canonical device, edge indexing included.
+  std::sort(edges.begin(), edges.end(), [](const auto& x, const auto& y) {
+    return std::tie(x.p0, x.p1) < std::tie(y.p0, y.p1);
+  });
+  return device::Device("canon", dev.num_qubits(), std::move(edges));
+}
+
+}  // namespace olsq2::serve

@@ -1,0 +1,183 @@
+#include "serve/manifest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "device/json.h"
+#include "device/presets.h"
+#include "obs/json_scanner.h"
+#include "qasm/parser.h"
+
+namespace olsq2::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("serve manifest: cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+ManifestEntry parse_entry(obs::JsonScanner& scan) {
+  ManifestEntry entry;
+  scan.expect('{');
+  if (!scan.accept('}')) {
+    do {
+      const std::string key = scan.string_value();
+      scan.expect(':');
+      if (key == "name") {
+        entry.name = scan.string_value();
+      } else if (key == "circuit") {
+        entry.circuit_path = scan.string_value();
+      } else if (key == "device") {
+        entry.device_spec = scan.string_value();
+      } else if (key == "swap_duration") {
+        entry.swap_duration = scan.int_value();
+      } else if (key == "engine") {
+        entry.engine = scan.string_value();
+      } else if (key == "budget_ms") {
+        entry.budget_ms = scan.double_value();
+      } else if (key == "certify") {
+        entry.certify = scan.bool_value();
+      } else if (key == "expect") {
+        entry.has_expect = true;
+        scan.expect('{');
+        if (!scan.accept('}')) {
+          do {
+            const std::string ekey = scan.string_value();
+            scan.expect(':');
+            if (ekey == "depth") {
+              entry.expect_depth = scan.int_value();
+            } else if (ekey == "swaps") {
+              entry.expect_swaps = scan.int_value();
+            } else {
+              scan.skip_value();
+            }
+          } while (scan.accept(','));
+          scan.expect('}');
+        }
+      } else {
+        scan.skip_value();
+      }
+    } while (scan.accept(','));
+    scan.expect('}');
+  }
+  if (entry.circuit_path.empty()) scan.fail("request without \"circuit\"");
+  if (entry.device_spec.empty()) scan.fail("request without \"device\"");
+  engine_from_tag(entry.engine);  // validate early
+  return entry;
+}
+
+/// "grid:2x3" -> (2, 3).
+std::pair<int, int> parse_dims(const std::string& spec, std::size_t colon) {
+  const std::string dims = spec.substr(colon + 1);
+  const std::size_t x = dims.find('x');
+  if (x == std::string::npos) {
+    throw std::runtime_error("serve manifest: bad device dims '" + spec +
+                             "' (want ROWSxCOLS)");
+  }
+  return {std::stoi(dims.substr(0, x)), std::stoi(dims.substr(x + 1))};
+}
+
+}  // namespace
+
+Manifest parse_manifest(std::string_view json) {
+  obs::JsonScanner scan(json, "serve manifest");
+  Manifest manifest;
+  scan.expect('{');
+  if (!scan.accept('}')) {
+    do {
+      const std::string key = scan.string_value();
+      scan.expect(':');
+      if (key == "requests") {
+        scan.expect('[');
+        if (!scan.accept(']')) {
+          do {
+            manifest.entries.push_back(parse_entry(scan));
+          } while (scan.accept(','));
+          scan.expect(']');
+        }
+      } else {
+        scan.skip_value();
+      }
+    } while (scan.accept(','));
+    scan.expect('}');
+  }
+  return manifest;
+}
+
+Manifest load_manifest(const std::string& path) {
+  return parse_manifest(read_file(path));
+}
+
+device::Device resolve_device(const std::string& spec,
+                              int* swap_duration_out) {
+  if (spec.find('/') != std::string::npos ||
+      (spec.size() > 5 && spec.substr(spec.size() - 5) == ".json")) {
+    device::DeviceSpec parsed = device::device_from_json(read_file(spec));
+    if (swap_duration_out != nullptr) {
+      *swap_duration_out = parsed.swap_duration;
+    }
+    return std::move(parsed.device);
+  }
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  if (kind == "grid") {
+    const auto [rows, cols] = parse_dims(spec, colon);
+    return device::grid(rows, cols);
+  }
+  if (kind == "heavyhex") {
+    const auto [rows, cols] = parse_dims(spec, colon);
+    return device::heavy_hex(rows, cols);
+  }
+  if (spec == "ibm_qx2") return device::ibm_qx2();
+  if (spec == "rigetti_aspen4") return device::rigetti_aspen4();
+  if (spec == "sycamore54") return device::google_sycamore54();
+  if (spec == "eagle127") return device::ibm_eagle127();
+  if (spec == "guadalupe16") return device::ibm_guadalupe16();
+  if (spec == "tokyo20") return device::ibm_tokyo20();
+  throw std::runtime_error("serve manifest: unknown device spec '" + spec +
+                           "'");
+}
+
+LoadedManifest materialize_manifest(const Manifest& manifest,
+                                    const std::string& base_dir) {
+  LoadedManifest loaded;
+  loaded.entries = manifest.entries;
+  const auto resolve_path = [&](const std::string& path) {
+    if (base_dir.empty() || fs::path(path).is_absolute()) return path;
+    return (fs::path(base_dir) / path).string();
+  };
+  for (const ManifestEntry& entry : manifest.entries) {
+    loaded.circuits.push_back(
+        qasm::parse_file(resolve_path(entry.circuit_path)));
+    int device_swap = 0;
+    std::string spec = entry.device_spec;
+    if (spec.find('/') != std::string::npos ||
+        (spec.size() > 5 && spec.substr(spec.size() - 5) == ".json")) {
+      spec = resolve_path(spec);
+    }
+    loaded.devices.push_back(resolve_device(spec, &device_swap));
+
+    Request request;
+    request.circuit = &loaded.circuits.back();
+    request.device = &loaded.devices.back();
+    request.swap_duration = entry.swap_duration > 0 ? entry.swap_duration
+                            : device_swap > 0      ? device_swap
+                                                   : 1;
+    request.engine = engine_from_tag(entry.engine);
+    request.options.time_budget_ms = entry.budget_ms;
+    request.certify = entry.certify;
+    request.tag = entry.name.empty() ? entry.circuit_path : entry.name;
+    loaded.requests.push_back(request);
+  }
+  return loaded;
+}
+
+}  // namespace olsq2::serve

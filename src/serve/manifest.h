@@ -1,0 +1,77 @@
+// Batch-request manifests: a JSON document describing a list of synthesis
+// requests, optionally with expected optima (the golden regression suite
+// in tests/golden/ is exactly such a manifest).
+//
+// Schema:
+// {
+//   "requests": [
+//     {"name": "ghz5",                      // optional label
+//      "circuit": "benchmarks/ghz5.qasm",   // path, relative to base dir
+//      "device": "grid:1x5",                // preset spec or *.device.json path
+//      "swap_duration": 1,                  // optional (default 1, or the
+//                                           //  device file's value)
+//      "engine": "swap",                    // depth|swap|tb-swap|tb-block
+//      "budget_ms": 30000,                  // optional solve budget
+//      "certify": false,                    // optional DRAT certificate
+//      "expect": {"depth": 5, "swaps": 0}}  // optional golden values
+//   ]
+// }
+//
+// Device preset specs: "grid:RxC", "heavyhex:RxC", "ibm_qx2",
+// "rigetti_aspen4", "sycamore54", "eagle127", "guadalupe16", "tokyo20";
+// anything containing a '/' or ending in ".json" is read as a device JSON
+// file (device/json.h).
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/batch.h"
+
+namespace olsq2::serve {
+
+struct ManifestEntry {
+  std::string name;
+  std::string circuit_path;
+  std::string device_spec;
+  int swap_duration = 0;  // 0 = unset (default 1 / device-file value)
+  std::string engine = "swap";
+  double budget_ms = 0.0;
+  bool certify = false;
+  bool has_expect = false;
+  int expect_depth = -1;  // -1 = not constrained
+  int expect_swaps = -1;
+};
+
+struct Manifest {
+  std::vector<ManifestEntry> entries;
+};
+
+/// Parse a manifest document. Throws std::runtime_error on malformed input.
+Manifest parse_manifest(std::string_view json);
+/// Read and parse a manifest file.
+Manifest load_manifest(const std::string& path);
+
+/// Resolve a device spec (preset string or JSON file path). When the spec
+/// is a file, `swap_duration_out` receives the file's value (otherwise it
+/// is left untouched).
+device::Device resolve_device(const std::string& spec,
+                              int* swap_duration_out);
+
+/// A manifest materialized into live Requests. Circuits and devices are
+/// held in deques so the pointers inside `requests` stay stable.
+struct LoadedManifest {
+  std::deque<circuit::Circuit> circuits;
+  std::deque<device::Device> devices;
+  std::vector<Request> requests;   // parallel to `entries`
+  std::vector<ManifestEntry> entries;
+};
+
+/// Load every circuit/device a manifest references. Relative circuit and
+/// device paths are resolved against `base_dir` (empty = cwd).
+LoadedManifest materialize_manifest(const Manifest& manifest,
+                                    const std::string& base_dir = "");
+
+}  // namespace olsq2::serve

@@ -1,0 +1,219 @@
+// olsq2_serve: batch layout-synthesis server with an instance-
+// canonicalizing result cache.
+//
+//   $ ./olsq2_serve --manifest FILE [options]
+//     --manifest FILE   request manifest (serve/manifest.h schema)
+//     --base-dir DIR    resolve relative paths against DIR
+//                       (default: the manifest's directory)
+//     --cache-dir DIR   enable the persistent cache tier in DIR
+//     --lru N           in-memory cache capacity                (default 256)
+//     --no-cache        disable all caching (baseline mode)
+//     --repeat K        serve the whole manifest K times        (default 1)
+//     --json FILE       write a machine-readable report to FILE
+//
+// Both `--flag value` and `--flag=value` spellings are accepted. Requests
+// carrying an "expect" block are checked against the returned optima; any
+// deviation is reported and the exit code is 1 (0 otherwise), so a golden
+// manifest doubles as a regression gate.
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "layout/json.h"
+#include "obs/json_escape.h"
+#include "serve/batch.h"
+#include "serve/manifest.h"
+
+namespace {
+
+using namespace olsq2;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "olsq2_serve: " << message << "\n"
+            << "usage: olsq2_serve --manifest FILE [--base-dir DIR]\n"
+            << "                   [--cache-dir DIR] [--lru N] [--no-cache]\n"
+            << "                   [--repeat K] [--json FILE]\n";
+  std::exit(2);
+}
+
+bool flag_value(std::vector<std::string>& args, std::size_t& i,
+                const std::string& flag, std::string& value) {
+  const std::string& arg = args[i];
+  if (arg == flag) {
+    if (i + 1 >= args.size()) usage_error(flag + " needs a value");
+    value = args[++i];
+    return true;
+  }
+  if (arg.rfind(flag + "=", 0) == 0) {
+    value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+struct Outcome {
+  serve::ManifestEntry entry;
+  serve::Response response;
+  double wall_ms = 0.0;
+  bool expect_ok = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string manifest_path;
+  std::string base_dir;
+  bool base_dir_set = false;
+  std::string json_path;
+  serve::ServerOptions server_options;
+  int repeat = 1;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string value;
+    if (flag_value(args, i, "--manifest", value)) {
+      manifest_path = value;
+    } else if (flag_value(args, i, "--base-dir", value)) {
+      base_dir = value;
+      base_dir_set = true;
+    } else if (flag_value(args, i, "--cache-dir", value)) {
+      server_options.cache.disk_dir = value;
+    } else if (flag_value(args, i, "--lru", value)) {
+      server_options.cache.max_entries = std::stoul(value);
+    } else if (args[i] == "--no-cache") {
+      server_options.use_cache = false;
+    } else if (flag_value(args, i, "--repeat", value)) {
+      repeat = std::stoi(value);
+    } else if (flag_value(args, i, "--json", value)) {
+      json_path = value;
+    } else {
+      usage_error("unknown option '" + args[i] + "'");
+    }
+  }
+  if (manifest_path.empty()) usage_error("--manifest is required");
+  if (repeat < 1) usage_error("--repeat must be >= 1");
+  if (!base_dir_set) {
+    base_dir = std::filesystem::path(manifest_path).parent_path().string();
+  }
+
+  int failures = 0;
+  std::vector<Outcome> outcomes;
+  serve::Server server(server_options);
+  try {
+    const serve::Manifest manifest = serve::load_manifest(manifest_path);
+    const serve::LoadedManifest loaded =
+        serve::materialize_manifest(manifest, base_dir);
+
+    for (int round = 0; round < repeat; ++round) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::vector<serve::Response> responses =
+          server.serve_batch(loaded.requests);
+      const double batch_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+
+      for (std::size_t i = 0; i < responses.size(); ++i) {
+        Outcome outcome;
+        outcome.entry = loaded.entries[i];
+        outcome.response = responses[i];
+        outcome.wall_ms = responses[i].result.wall_ms;
+        const auto& result = responses[i].result;
+        if (outcome.entry.has_expect && result.solved) {
+          if (outcome.entry.expect_depth >= 0 &&
+              result.depth != outcome.entry.expect_depth) {
+            outcome.expect_ok = false;
+          }
+          if (outcome.entry.expect_swaps >= 0 &&
+              result.swap_count != outcome.entry.expect_swaps) {
+            outcome.expect_ok = false;
+          }
+        } else if (outcome.entry.has_expect) {
+          outcome.expect_ok = false;  // expected an optimum, got no solution
+        }
+        if (!outcome.expect_ok) failures++;
+
+        std::cout << (round > 0 ? "  [round " + std::to_string(round + 1) +
+                                      "] "
+                                : "  ")
+                  << loaded.requests[i].tag << " [" << outcome.entry.engine
+                  << "] ";
+        if (result.solved) {
+          std::cout << "depth=" << result.depth
+                    << " swaps=" << result.swap_count;
+        } else {
+          std::cout << "UNSOLVED";
+        }
+        std::cout << (responses[i].cache_hit
+                          ? (responses[i].from_disk ? " (disk hit)" : " (hit)")
+                          : " (solved)");
+        if (responses[i].has_depth_cert || responses[i].has_swap_cert) {
+          const layout::Certificate& cert = responses[i].has_depth_cert
+                                                ? responses[i].depth_cert
+                                                : responses[i].swap_cert;
+          std::cout << (cert.certified() ? " [certified]"
+                                         : " [certificate FAILED]");
+        }
+        if (!outcome.expect_ok) {
+          std::cout << "  EXPECT MISMATCH (want depth="
+                    << outcome.entry.expect_depth
+                    << " swaps=" << outcome.entry.expect_swaps << ")";
+        }
+        std::cout << "\n";
+        outcomes.push_back(outcome);
+      }
+      std::cout << "round " << round + 1 << ": " << responses.size()
+                << " requests in " << batch_ms << " ms\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "olsq2_serve: " << e.what() << "\n";
+    return 2;
+  }
+
+  const serve::CacheStats& stats = server.cache().stats();
+  std::cout << "cache: " << stats.hits << " hits (" << stats.disk_hits
+            << " disk), " << stats.misses << " misses, " << stats.inserts
+            << " inserts, " << stats.evictions << " evictions, "
+            << stats.bytes_written << "B written, " << stats.bytes_read
+            << "B read\n";
+
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    out << "{\"responses\":[";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const Outcome& o = outcomes[i];
+      if (i) out << ",";
+      out << "{\"name\":\"" << obs::json_escape(o.entry.name) << "\""
+          << ",\"engine\":\"" << o.entry.engine << "\""
+          << ",\"solved\":" << (o.response.result.solved ? "true" : "false")
+          << ",\"depth\":" << o.response.result.depth
+          << ",\"swap_count\":" << o.response.result.swap_count
+          << ",\"cache_hit\":" << (o.response.cache_hit ? "true" : "false")
+          << ",\"expect_ok\":" << (o.expect_ok ? "true" : "false")
+          << ",\"wall_ms\":" << o.wall_ms << "}";
+    }
+    out << "],\"cache\":{\"hits\":" << stats.hits
+        << ",\"disk_hits\":" << stats.disk_hits
+        << ",\"misses\":" << stats.misses << ",\"inserts\":" << stats.inserts
+        << ",\"evictions\":" << stats.evictions
+        << ",\"bytes_written\":" << stats.bytes_written
+        << ",\"bytes_read\":" << stats.bytes_read << "}}\n";
+    std::ofstream file(json_path);
+    if (!file) {
+      std::cerr << "olsq2_serve: cannot write " << json_path << "\n";
+      return 2;
+    }
+    file << out.str();
+  }
+
+  if (failures > 0) {
+    std::cerr << "olsq2_serve: " << failures << " expectation(s) failed\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "serve/transfer.h"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace olsq2::serve {
+
+layout::Result untransfer_result(const layout::Result& canonical_result,
+                                 const InstanceCanon& canon,
+                                 const layout::Problem& original) {
+  layout::Result out = canonical_result;  // objectives + diagnostics carry over
+  if (!canonical_result.solved) return out;
+
+  const std::vector<int>& qperm = canon.circuit.qubit_perm;
+  const std::vector<int> inv_dev = invert_permutation(canon.device.perm);
+
+  for (std::size_t t = 0; t < canonical_result.mapping.size(); ++t) {
+    const std::vector<int>& row_c = canonical_result.mapping[t];
+    std::vector<int>& row_o = out.mapping[t];
+    for (std::size_t q = 0; q < row_o.size(); ++q) {
+      row_o[q] = inv_dev[row_c[qperm[q]]];
+    }
+  }
+
+  const std::vector<int>& gperm = canon.circuit.gate_perm;
+  for (std::size_t g = 0; g < out.gate_time.size(); ++g) {
+    out.gate_time[g] = canonical_result.gate_time[gperm[g]];
+  }
+
+  if (!canonical_result.swaps.empty()) {
+    const device::Device canon_dev =
+        apply_device_canon(*original.device, canon.device);
+    std::map<std::pair<int, int>, int> edge_index;
+    for (int e = 0; e < original.device->num_edges(); ++e) {
+      const device::Edge& edge = original.device->edge(e);
+      edge_index[{std::min(edge.p0, edge.p1), std::max(edge.p0, edge.p1)}] = e;
+    }
+    for (layout::SwapOp& op : out.swaps) {
+      const device::Edge& e_c = canon_dev.edge(op.edge);
+      const int a = inv_dev[e_c.p0];
+      const int b = inv_dev[e_c.p1];
+      const auto it = edge_index.find({std::min(a, b), std::max(a, b)});
+      if (it == edge_index.end()) {
+        // Impossible when `canon` really is this instance's witness; guard
+        // against a corrupted cache entry rather than emit a bogus layout.
+        throw std::runtime_error("serve: swap edge does not transfer");
+      }
+      op.edge = it->second;
+    }
+  }
+  return out;
+}
+
+}  // namespace olsq2::serve
