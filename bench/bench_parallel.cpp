@@ -74,8 +74,8 @@ void emit_json(const std::string& path, double budget_ms, int runs,
                const std::vector<Case>& cases,
                const std::vector<std::vector<Sample>>& samples) {
   std::ofstream out(path);
-  out << "{\"budget_ms\":" << budget_ms << ",\"runs\":" << runs
-      << ",\"benchmarks\":[";
+  out << "{" << bench::json_stamp("parallel") << "\"budget_ms\":" << budget_ms
+      << ",\"runs\":" << runs << ",\"benchmarks\":[";
   for (std::size_t c = 0; c < cases.size(); ++c) {
     if (c) out << ",";
     out << "{\"name\":\"" << cases[c].name << "\",\"device\":\""

@@ -180,7 +180,8 @@ int main(int argc, char** argv) {
             << "%)\n";
 
   std::ofstream out(out_path);
-  out << "{\"budget_ms\":" << budget_ms << ",\"dups\":" << dups
+  out << "{" << bench::json_stamp("serve") << "\"budget_ms\":" << budget_ms
+      << ",\"dups\":" << dups
       << ",\"requests\":" << requests.size()
       << ",\"duplicate_share\":" << (dups > 0 ? 1.0 * dups / (dups + 1) : 0)
       << ",\"uncached\":{\"wall_ms\":" << uncached.wall_ms

@@ -12,12 +12,14 @@
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace olsq2::bench {
@@ -35,6 +37,31 @@ inline double now_ms() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Provenance stamp shared by every BENCH_*.json emitter: schema version,
+/// bench name, the git revision baked in at configure time (OLSQ2_GIT_SHA,
+/// "unknown" outside a checkout), a UTC wall-clock timestamp, and the
+/// process's peak RSS measured at emit time. Returned as the leading member
+/// list of a JSON object ("key":value,... with a trailing comma) so
+/// emitters prepend it verbatim; olsq2_benchdiff keys its compatibility
+/// check on schema_version and reports sha/timestamp as context only.
+inline std::string json_stamp(const std::string& bench_name) {
+#ifdef OLSQ2_GIT_SHA
+  const char* sha = OLSQ2_GIT_SHA;
+#else
+  const char* sha = "unknown";
+#endif
+  char ts[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  if (std::tm* utc = std::gmtime(&now)) {
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", utc);
+  }
+  std::ostringstream out;
+  out << "\"schema_version\":1,\"bench\":\"" << bench_name
+      << "\",\"git_sha\":\"" << sha << "\",\"timestamp\":\"" << ts
+      << "\",\"peak_rss_bytes\":" << obs::metrics::peak_rss_bytes() << ",";
+  return out.str();
 }
 
 /// Fixed-width table printer matching the paper's row layout.

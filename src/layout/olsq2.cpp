@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "sat/exchange.h"
 
@@ -118,6 +119,18 @@ sat::LBool solve_step(Model& model, std::vector<Lit> assumptions,
   diag.conflicts += delta.conflicts;
   diag.calls.push_back(call);
   if (status == sat::LBool::kUndef) diag.hit_budget = true;
+  if (obs::metrics::enabled()) {
+    namespace m = obs::metrics;
+    static m::Histogram& call_ms = m::Registry::instance().histogram(
+        "layout_solve_call_duration_ms",
+        "Wall time of each incremental SAT call in the optimizer loop",
+        {{"engine", "time-resolved"}});
+    static m::Counter& calls = m::Registry::instance().counter(
+        "layout_sat_calls_total", "Incremental SAT calls issued by optimizers",
+        {{"engine", "time-resolved"}});
+    call_ms.observe(call.wall_ms);
+    calls.inc();
+  }
   return status;
 }
 
@@ -131,6 +144,12 @@ void record_pruned(Result& diag, int depth_bound, int swap_bound,
   diag.calls.push_back(call);
   facts.note_pruned();
   if (obs::Trace::instance().enabled()) obs::instant("olsq2.bound_pruned");
+  if (obs::metrics::enabled()) {
+    static obs::metrics::Counter& pruned = obs::metrics::Registry::instance().counter(
+        "layout_pruned_probes_total",
+        "SAT calls skipped because a shared bound fact already decided them");
+    pruned.inc();
+  }
 }
 
 int next_relaxed_bound(int t_b, const OptimizerOptions& options) {

@@ -6,6 +6,7 @@
 
 #include "layout/olsq2.h"
 #include "layout/tb.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace olsq2::layout {
@@ -111,6 +112,19 @@ PortfolioResult synthesize_portfolio(const Problem& problem,
     if (result.winner < 0 || better(r, result.best)) {
       result.best = r;
       result.winner = static_cast<int>(i);
+    }
+  }
+
+  if (obs::metrics::enabled() && result.winner >= 0) {
+    namespace m = obs::metrics;
+    m::Registry& reg = m::Registry::instance();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const bool won = static_cast<int>(i) == result.winner;
+      reg.counter(won ? "portfolio_wins_total" : "portfolio_losses_total",
+                  won ? "Races won per portfolio strategy"
+                      : "Races lost per portfolio strategy",
+                  {{"strategy", entries[i].name}})
+          .inc();
     }
   }
 

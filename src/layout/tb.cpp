@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "encode/cardinality.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace olsq2::layout {
@@ -341,6 +342,19 @@ struct TbSearch {
     diag.conflicts += delta.conflicts;
     diag.calls.push_back(call);
     if (status == sat::LBool::kUndef) diag.hit_budget = true;
+    if (obs::metrics::enabled()) {
+      namespace m = obs::metrics;
+      static m::Histogram& call_ms = m::Registry::instance().histogram(
+          "layout_solve_call_duration_ms",
+          "Wall time of each incremental SAT call in the optimizer loop",
+          {{"engine", "transition-based"}});
+      static m::Counter& calls = m::Registry::instance().counter(
+          "layout_sat_calls_total",
+          "Incremental SAT calls issued by optimizers",
+          {{"engine", "transition-based"}});
+      call_ms.observe(call.wall_ms);
+      calls.inc();
+    }
     return status;
   }
 };

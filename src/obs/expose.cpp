@@ -1,0 +1,291 @@
+#include "obs/expose.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json_escape.h"
+
+namespace olsq2::obs::metrics {
+
+namespace {
+
+/// Prometheus metric/label name charset: [a-zA-Z0-9_:] (labels without ':').
+std::string sanitize_name(std::string_view name, bool allow_colon) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    (allow_colon && c == ':');
+    const bool ok_first = !std::isdigit(static_cast<unsigned char>(c));
+    out += (ok && (i > 0 || ok_first)) ? c : '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+/// Shortest round-trippable decimal; integers print without exponent.
+std::string fmt_number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.007199254740992e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Label value escaping per the exposition format: backslash, quote, \n.
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels,
+                        const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += sanitize_name(k, /*allow_colon=*/false) + "=\"" +
+           escape_label_value(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + escape_label_value(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void prom_header(std::ostringstream& out, const std::string& name,
+                 const std::string& help, const char* type) {
+  if (!help.empty()) out << "# HELP " << name << " " << help << "\n";
+  out << "# TYPE " << name << " " << type << "\n";
+}
+
+void json_labels(std::ostringstream& out, const Labels& labels) {
+  out << "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out << ",";
+    out << "\"" << json_escape(labels[i].first) << "\":\""
+        << json_escape(labels[i].second) << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string to_prometheus(
+    const std::vector<Registry::FamilySnapshot>& families) {
+  std::ostringstream out;
+  for (const auto& fam : families) {
+    const std::string name = sanitize_name(fam.name, /*allow_colon=*/true);
+    switch (fam.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge: {
+        prom_header(out, name, fam.help,
+                    fam.kind == Kind::kCounter ? "counter" : "gauge");
+        for (const auto& s : fam.series) {
+          out << name << prom_labels(s.labels) << " " << fmt_number(s.value)
+              << "\n";
+        }
+        break;
+      }
+      case Kind::kHistogram: {
+        prom_header(out, name, fam.help, "histogram");
+        for (const auto& s : fam.series) {
+          const HistogramSnapshot& h = s.histogram;
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+            if (h.bucket_counts[i] == 0) continue;  // elide empty bounds
+            cum += h.bucket_counts[i];
+            const double upper = HistogramSnapshot::bucket_upper(i);
+            if (std::isinf(upper)) continue;  // +Inf emitted below
+            out << name << "_bucket"
+                << prom_labels(s.labels, "le", fmt_number(upper)) << " "
+                << cum << "\n";
+          }
+          out << name << "_bucket" << prom_labels(s.labels, "le", "+Inf")
+              << " " << h.count << "\n";
+          out << name << "_sum" << prom_labels(s.labels) << " "
+              << fmt_number(h.sum) << "\n";
+          out << name << "_count" << prom_labels(s.labels) << " " << h.count
+              << "\n";
+          out << name << "_min" << prom_labels(s.labels) << " "
+              << fmt_number(h.min) << "\n";
+          out << name << "_max" << prom_labels(s.labels) << " "
+              << fmt_number(h.max) << "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const std::vector<Registry::FamilySnapshot>& families) {
+  std::ostringstream out;
+  out << "{\"schema_version\":1,\"metrics\":[";
+  bool first_family = true;
+  for (const auto& fam : families) {
+    if (!first_family) out << ",";
+    first_family = false;
+    out << "{\"name\":\"" << json_escape(fam.name) << "\",\"kind\":\""
+        << (fam.kind == Kind::kCounter   ? "counter"
+            : fam.kind == Kind::kGauge   ? "gauge"
+                                         : "histogram")
+        << "\",\"help\":\"" << json_escape(fam.help) << "\",\"series\":[";
+    for (std::size_t i = 0; i < fam.series.size(); ++i) {
+      const auto& s = fam.series[i];
+      if (i) out << ",";
+      out << "{\"labels\":";
+      json_labels(out, s.labels);
+      if (fam.kind == Kind::kHistogram) {
+        const HistogramSnapshot& h = s.histogram;
+        out << ",\"count\":" << h.count << ",\"sum\":" << fmt_number(h.sum)
+            << ",\"min\":" << fmt_number(h.min)
+            << ",\"max\":" << fmt_number(h.max)
+            << ",\"p50\":" << fmt_number(h.quantile(0.50))
+            << ",\"p90\":" << fmt_number(h.quantile(0.90))
+            << ",\"p99\":" << fmt_number(h.quantile(0.99)) << ",\"buckets\":[";
+        bool first_bucket = true;
+        std::uint64_t overflow = 0;
+        for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+          if (h.bucket_counts[b] == 0) continue;
+          const double upper = HistogramSnapshot::bucket_upper(b);
+          if (std::isinf(upper)) {
+            overflow = h.bucket_counts[b];
+            continue;
+          }
+          if (!first_bucket) out << ",";
+          first_bucket = false;
+          out << "{\"le\":" << fmt_number(upper)
+              << ",\"count\":" << h.bucket_counts[b] << "}";
+        }
+        out << "],\"overflow\":" << overflow;
+      } else {
+        out << ",\"value\":" << fmt_number(s.value);
+      }
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+bool write_metrics_file(const std::string& path, const std::string& format) {
+  std::string fmt = format;
+  if (fmt.empty()) {
+    fmt = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0
+              ? "json"
+              : "prom";
+  }
+  if (fmt != "prom" && fmt != "json") return false;
+  const auto snapshot = Registry::instance().snapshot();
+  std::ofstream out(path);
+  if (!out) return false;
+  out << (fmt == "json" ? to_json(snapshot) : to_prometheus(snapshot));
+  return static_cast<bool>(out);
+}
+
+std::vector<PromSample> parse_prometheus(std::string_view text) {
+  std::vector<PromSample> samples;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& message) -> void {
+    throw std::runtime_error("prometheus text line " +
+                             std::to_string(line_no) + ": " + message);
+  };
+  while (pos < text.size()) {
+    line_no++;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      i++;
+    }
+    if (i >= line.size() || line[i] == '#') continue;
+
+    PromSample sample;
+    const std::size_t name_start = i;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) ||
+            line[i] == '_' || line[i] == ':')) {
+      i++;
+    }
+    if (i == name_start) fail("expected metric name");
+    sample.name = std::string(line.substr(name_start, i - name_start));
+
+    if (i < line.size() && line[i] == '{') {
+      i++;
+      while (i < line.size() && line[i] != '}') {
+        const std::size_t key_start = i;
+        while (i < line.size() && line[i] != '=') i++;
+        if (i >= line.size()) fail("unterminated label");
+        std::string key(line.substr(key_start, i - key_start));
+        i++;  // '='
+        if (i >= line.size() || line[i] != '"') fail("expected label value");
+        i++;
+        std::string value;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            i++;
+            value += line[i] == 'n' ? '\n' : line[i];
+          } else {
+            value += line[i];
+          }
+          i++;
+        }
+        if (i >= line.size()) fail("unterminated label value");
+        i++;  // closing '"'
+        sample.labels.emplace_back(std::move(key), std::move(value));
+        if (i < line.size() && line[i] == ',') i++;
+      }
+      if (i >= line.size()) fail("unterminated label set");
+      i++;  // '}'
+    }
+
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      i++;
+    }
+    if (i >= line.size()) fail("missing sample value");
+    const std::string value_text(line.substr(i));
+    if (value_text == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else if (value_text == "-Inf") {
+      sample.value = -std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str()) fail("bad sample value");
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace olsq2::obs::metrics

@@ -1,0 +1,55 @@
+// Exposition formats for the metrics registry (obs/metrics.h): Prometheus
+// text exposition (the format a scraping daemon wants) and a JSON snapshot
+// (the format the bench/CI tooling and obs::JsonScanner consumers want).
+// Both are pure functions over Registry::snapshot() so tests can exercise
+// them without touching process-global state; parse_prometheus is the
+// matching read side used by the round-trip tests and the serve-CLI
+// exposition validator.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace olsq2::obs::metrics {
+
+/// Prometheus text exposition (version 0.0.4): `# HELP`/`# TYPE` headers,
+/// one `name{labels} value` line per series. Metric and label names are
+/// sanitized to [a-zA-Z0-9_:]; histograms expand to cumulative
+/// `_bucket{le=...}` lines plus `_sum`/`_count` and `_min`/`_max` gauges.
+/// Empty cumulative buckets are elided (legal: `le` bounds are an
+/// arbitrary monotone subset), the `+Inf` bucket is always present.
+std::string to_prometheus(const std::vector<Registry::FamilySnapshot>& families);
+
+/// JSON snapshot:
+///   {"schema_version":1,"metrics":[{"name":...,"kind":"counter","help":...,
+///    "series":[{"labels":{...},"value":N}]},
+///    {..."kind":"histogram","series":[{"labels":{},"count":N,"sum":S,
+///     "min":m,"max":M,"p50":..,"p90":..,"p99":..,
+///     "buckets":[{"le":U,"count":C},...],"overflow":N}]}]}
+/// Strings go through obs::json_escape; bucket `le` bounds are finite (the
+/// +Inf bucket is the "overflow" field), so the document parses with
+/// obs::JsonScanner.
+std::string to_json(const std::vector<Registry::FamilySnapshot>& families);
+
+/// Snapshot the process registry and write it to `path`. `format` is
+/// "prom", "json", or "" = infer from the extension (*.json => JSON,
+/// anything else => Prometheus text). Returns false on I/O failure.
+bool write_metrics_file(const std::string& path, const std::string& format);
+
+/// One parsed exposition line. Histogram expansions come back as separate
+/// samples (`name_bucket` with an `le` label, `name_sum`, `name_count`).
+struct PromSample {
+  std::string name;
+  Labels labels;
+  double value = 0;
+};
+
+/// Parse Prometheus text exposition (the subset to_prometheus emits:
+/// comments, blank lines, `name{labels} value` samples). Throws
+/// std::runtime_error with a line number on malformed input.
+std::vector<PromSample> parse_prometheus(std::string_view text);
+
+}  // namespace olsq2::obs::metrics

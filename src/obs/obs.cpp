@@ -236,6 +236,11 @@ std::string to_chrome_trace(
       append_us(out, e.dur);
     }
     if (e.kind == Event::Kind::kInstant) out << ",\"s\":\"t\"";
+    // Chrome groups counter tracks by (pid, name) and ignores tid, so
+    // multi-threaded streams of the same counter (one per portfolio
+    // strategy) would interleave into one garbled track. An explicit "id"
+    // keyed by the thread id splits them back apart.
+    if (e.kind == Event::Kind::kCounter) out << ",\"id\":\"" << e.tid << "\"";
     if (!e.args.empty()) {
       out << ",\"args\":";
       append_args(out, e.args);

@@ -281,6 +281,21 @@ CheckResult validate_chrome_trace(std::string_view text) {
       }
       result.span_events++;
     } else if (ph->string == "C") {
+      // Counter samples must be attributable to a thread: Chrome keys
+      // counter tracks by (pid, name, id), so the exporter sets "id" to
+      // the thread id (and "tid" for consistency with other events).
+      const Value* tid = e.find("tid");
+      const Value* id = e.find("id");
+      if (tid == nullptr || tid->type != Value::Type::kNumber) {
+        result.error =
+            "counter event '" + name->string + "' missing numeric tid";
+        return result;
+      }
+      if (id == nullptr || id->type != Value::Type::kString) {
+        result.error =
+            "counter event '" + name->string + "' missing string id";
+        return result;
+      }
       result.counter_events++;
     }
   }

@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace olsq2::sat {
+
+ClauseExchange::GroupMetrics& ClauseExchange::metrics_for(int group) {
+  if (group_metrics_.size() < groups_.size()) {
+    group_metrics_.resize(groups_.size());
+  }
+  GroupMetrics& gm = group_metrics_[static_cast<std::size_t>(group)];
+  if (gm.published == nullptr) {
+    namespace m = obs::metrics;
+    m::Registry& reg = m::Registry::instance();
+    // Group keys embed encoding fingerprints of unbounded cardinality;
+    // hash them down to a stable 8-char label value.
+    const m::Labels labels = {{"group", m::short_hash(groups_[group])}};
+    gm.published = &reg.counter("sat_exchange_published_total",
+                                "Clauses accepted into the exchange buffer",
+                                labels);
+    gm.filtered = &reg.counter("sat_exchange_filtered_total",
+                               "Clauses rejected by the size/LBD filter",
+                               labels);
+    gm.delivered = &reg.counter("sat_exchange_delivered_total",
+                                "Clause deliveries, summed over importers",
+                                labels);
+  }
+  return gm;
+}
 
 int ClauseExchange::add_solver(const std::string& group) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -49,6 +75,14 @@ bool ClauseExchange::publish(int solver_id, std::span<const Lit> lits,
   const bool always = lits.size() <= 2;  // units and binaries
   if (!always && (lits.size() > options_.max_size || lbd > options_.max_lbd)) {
     filtered_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics::enabled()) {
+      // Off the lock-free fast path only when metrics are on: the group
+      // label lives behind the hub mutex.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (solver_id >= 0 && solver_id < static_cast<int>(solvers_.size())) {
+        metrics_for(solvers_[solver_id].group).filtered->inc();
+      }
+    }
     return false;
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -67,6 +101,9 @@ bool ClauseExchange::publish(int solver_id, std::span<const Lit> lits,
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
   published_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics::enabled()) {
+    metrics_for(solvers_[solver_id].group).published->inc();
+  }
   return true;
 }
 
@@ -97,6 +134,9 @@ std::size_t ClauseExchange::collect(
   }
   slot.cursor = cursor;
   delivered_.fetch_add(n, std::memory_order_relaxed);
+  if (n > 0 && obs::metrics::enabled()) {
+    metrics_for(slot.group).delivered->inc(n);
+  }
   return n;
 }
 

@@ -35,6 +35,10 @@
 
 #include "sat/types.h"
 
+namespace olsq2::obs::metrics {
+class Counter;
+}
+
 namespace olsq2::sat {
 
 class ClauseExchange {
@@ -155,6 +159,15 @@ class ClauseExchange {
     /// Sequence number of the next shared clause this solver has not seen.
     std::uint64_t cursor = 0;
   };
+  /// Per-group registry handles, resolved lazily (labels hash the group
+  /// key, so registration cost is paid once per group, not per clause).
+  struct GroupMetrics {
+    obs::metrics::Counter* published = nullptr;
+    obs::metrics::Counter* filtered = nullptr;
+    obs::metrics::Counter* delivered = nullptr;
+  };
+  /// Handles for group id `group`; requires mutex_ held.
+  GroupMetrics& metrics_for(int group);
 
   Options options_;
 
@@ -165,6 +178,7 @@ class ClauseExchange {
   std::atomic<std::uint64_t> next_seq_{0};
   std::vector<SolverSlot> solvers_;
   std::vector<std::string> groups_;   // group id -> key
+  std::vector<GroupMetrics> group_metrics_;  // parallel to groups_, lazy
 
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> filtered_{0};

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "sat/clause_data.h"
 #include "sat/exchange.h"
@@ -641,6 +642,21 @@ std::int64_t Solver::num_learnts() const {
   return static_cast<std::int64_t>(learnts_.size());
 }
 
+MemoryStats Solver::memory_stats() const {
+  MemoryStats m;
+  const auto clause_bytes = [](const std::unique_ptr<ClauseData>& c) {
+    return sizeof(ClauseData) + c->lits.capacity() * sizeof(Lit);
+  };
+  for (const auto& c : clauses_) m.clause_bytes += clause_bytes(c);
+  m.clause_bytes += clauses_.capacity() * sizeof(std::unique_ptr<ClauseData>);
+  for (const auto& c : learnts_) m.learnt_bytes += clause_bytes(c);
+  m.learnt_bytes += learnts_.capacity() * sizeof(std::unique_ptr<ClauseData>);
+  for (const auto& w : watches_) {
+    m.watch_bytes += sizeof(w) + w.capacity() * sizeof(Watcher);
+  }
+  return m;
+}
+
 LBool Solver::solve(std::span<const Lit> assumptions) {
   stats_.solve_calls++;
   stats_.assumption_lits += assumptions.size();
@@ -693,8 +709,39 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
   cancel_until(0);
   assumptions_.clear();
   audit_invariants("solve-exit");
+  const Stats delta = stats_ - before;
+  if (obs::metrics::enabled()) {
+    namespace m = obs::metrics;
+    m::Registry& reg = m::Registry::instance();
+    // Cached handles: registry lookups take a mutex, solve() can be called
+    // thousands of times per optimizer run.
+    static m::Histogram& solve_ms = reg.histogram(
+        "sat_solve_duration_ms", "Wall time of each Solver::solve() call");
+    static m::Counter& conflicts =
+        reg.counter("sat_conflicts_total", "CDCL conflicts across all solvers");
+    static m::Counter& propagations = reg.counter(
+        "sat_propagations_total", "Unit propagations across all solvers");
+    static m::Counter& restarts =
+        reg.counter("sat_restarts_total", "Search restarts across all solvers");
+    static m::Gauge& learnt_bytes = reg.gauge(
+        "sat_learnt_db_bytes", "Learnt-clause DB bytes (last finished solver)");
+    static m::Gauge& watch_bytes = reg.gauge(
+        "sat_watch_bytes", "Watch-list bytes (last finished solver)");
+    static m::Gauge& clause_bytes = reg.gauge(
+        "sat_clause_bytes", "Original-clause bytes (last finished solver)");
+    solve_ms.observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - solve_start_)
+            .count());
+    conflicts.inc(delta.conflicts);
+    propagations.inc(delta.propagations);
+    restarts.inc(delta.restarts);
+    const MemoryStats mem = memory_stats();
+    learnt_bytes.set(static_cast<double>(mem.learnt_bytes));
+    watch_bytes.set(static_cast<double>(mem.watch_bytes));
+    clause_bytes.set(static_cast<double>(mem.clause_bytes));
+  }
   if (span.live()) {
-    const Stats delta = stats_ - before;
     span.arg("result", status == LBool::kTrue    ? "sat"
                        : status == LBool::kFalse ? "unsat"
                                                  : "unknown");

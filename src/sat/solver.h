@@ -119,6 +119,11 @@ class Solver {
   std::int64_t num_clauses() const { return num_original_clauses_; }
   std::int64_t num_learnts() const;
 
+  /// Byte-level snapshot of the dominant heap consumers (clause DBs and
+  /// watch lists), measured from container capacities. O(clauses + vars);
+  /// call at quiescent points, not inside the search loop.
+  MemoryStats memory_stats() const;
+
   /// Periodic progress reporting: `callback` is invoked from inside solve()
   /// roughly every `interval_conflicts` conflicts with a Stats snapshot.
   /// Long bound-search solves are impossible to tune blind; this is the

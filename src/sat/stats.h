@@ -5,9 +5,22 @@
 // the optimizer loops attach to each incremental solve call's trace span.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace olsq2::sat {
+
+/// Byte-level accounting of a solver's dominant heap consumers, measured
+/// from container capacities (what the allocator actually holds, not just
+/// what is live). Snapshot via Solver::memory_stats(); feeds the metrics
+/// gauges and memory-budget diagnostics.
+struct MemoryStats {
+  std::size_t clause_bytes = 0;  // original clauses (headers + literal arrays)
+  std::size_t learnt_bytes = 0;  // learnt-DB clauses (headers + literal arrays)
+  std::size_t watch_bytes = 0;   // watch lists (vector capacities)
+
+  std::size_t total() const { return clause_bytes + learnt_bytes + watch_bytes; }
+};
 
 struct Stats {
   std::uint64_t decisions = 0;

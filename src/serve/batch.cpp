@@ -1,6 +1,7 @@
 #include "serve/batch.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <stdexcept>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "layout/certify.h"
 #include "layout/olsq2.h"
 #include "layout/tb.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "serve/transfer.h"
 
@@ -101,6 +103,25 @@ std::vector<Response> Server::serve_batch(
     span.arg("requests", static_cast<int>(requests.size()));
   }
 
+  // End-to-end request latency: batch entry to the moment the response is
+  // filled (cache hits record in the lookup pass, dedup followers when the
+  // leader's solve lands), so histogram _count == requests served.
+  const auto batch_start = std::chrono::steady_clock::now();
+  const bool metered = obs::metrics::enabled();
+  auto observe_request = [&] {
+    if (!metered) return;
+    namespace m = obs::metrics;
+    static m::Counter& total = m::Registry::instance().counter(
+        "serve_requests_total", "Requests served (cache hits + solves)");
+    static m::Histogram& latency = m::Registry::instance().histogram(
+        "serve_request_duration_ms",
+        "End-to-end latency from batch entry to response fill");
+    total.inc();
+    latency.observe(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - batch_start)
+                        .count());
+  };
+
   struct Item {
     InstanceCanon canon;
     std::string instance_key;
@@ -144,6 +165,7 @@ std::vector<Response> Server::serve_batch(
           responses[i].from_disk =
               cache_.stats().disk_hits != disk_hits_before;
           fill_certs(*entry, responses[i]);
+          observe_request();
           continue;
         }
       }
@@ -203,6 +225,7 @@ std::vector<Response> Server::serve_batch(
           untransfer_result(entry.result, items[i].canon, original);
       responses[i].cache_hit = i != leader;  // cross-request dedup hits
       fill_certs(entry, responses[i]);
+      observe_request();
     }
   }
 

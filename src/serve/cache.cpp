@@ -8,6 +8,7 @@
 #include "layout/json.h"
 #include "obs/json_escape.h"
 #include "obs/json_scanner.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace olsq2::serve {
@@ -53,6 +54,46 @@ layout::Certificate certificate_from(obs::JsonScanner& scan) {
   return c;
 }
 
+/// Registry handles for the cache, registered eagerly (first ResultCache
+/// construction while metrics are on) so a scrape sees hit/miss counters at
+/// zero before the first request, not absent.
+struct CacheMetrics {
+  obs::metrics::Counter& hits;
+  obs::metrics::Counter& misses;
+  obs::metrics::Counter& inserts;
+  obs::metrics::Counter& evictions;
+  obs::metrics::Counter& disk_read_bytes;
+  obs::metrics::Counter& disk_written_bytes;
+  obs::metrics::Gauge& memory_bytes;
+
+  static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+
+ private:
+  CacheMetrics()
+      : hits(reg().counter("serve_cache_hits_total",
+                           "Cache hits (memory + disk tiers)")),
+        misses(reg().counter("serve_cache_misses_total", "Cache misses")),
+        inserts(reg().counter("serve_cache_inserts_total",
+                              "Entries inserted or overwritten")),
+        evictions(reg().counter("serve_cache_evictions_total",
+                                "In-memory LRU evictions")),
+        disk_read_bytes(reg().counter("serve_cache_disk_read_bytes_total",
+                                      "Bytes read from the persistent tier")),
+        disk_written_bytes(
+            reg().counter("serve_cache_disk_written_bytes_total",
+                          "Bytes written to the persistent tier")),
+        memory_bytes(reg().gauge(
+            "serve_cache_bytes",
+            "Approximate in-memory footprint of the LRU tier")) {}
+
+  static obs::metrics::Registry& reg() {
+    return obs::metrics::Registry::instance();
+  }
+};
+
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view data) {
@@ -66,6 +107,7 @@ std::uint64_t fnv1a64(std::string_view data) {
 
 ResultCache::ResultCache(CacheOptions options) : options_(std::move(options)) {
   if (options_.max_entries == 0) options_.max_entries = 1;
+  if (obs::metrics::enabled()) CacheMetrics::get();
 }
 
 std::string ResultCache::path_for(const std::string& key) const {
@@ -75,14 +117,30 @@ std::string ResultCache::path_for(const std::string& key) const {
 }
 
 void ResultCache::touch(const std::string& key, CacheEntry entry) {
+  const bool metered = obs::metrics::enabled();
   const auto it = index_.find(key);
-  if (it != index_.end()) lru_.erase(it->second);
-  lru_.emplace_front(key, std::move(entry));
+  if (it != index_.end()) {
+    mem_bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+  }
+  // Footprint = node bookkeeping + the serialized payload (the honest size
+  // of what a scrape-visible byte gauge should report). Measured only while
+  // metrics collect, keeping the disabled path allocation-free.
+  const std::size_t bytes =
+      metered ? sizeof(Node) + key.size() + entry_to_json(key, entry).size()
+              : 0;
+  lru_.push_front(Node{key, std::move(entry), bytes});
+  mem_bytes_ += bytes;
   index_[key] = lru_.begin();
   while (lru_.size() > options_.max_entries) {
-    index_.erase(lru_.back().first);
+    mem_bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     stats_.evictions++;
+    if (metered) CacheMetrics::get().evictions.inc();
+  }
+  if (metered) {
+    CacheMetrics::get().memory_bytes.set(static_cast<double>(mem_bytes_));
   }
 }
 
@@ -90,10 +148,11 @@ std::optional<CacheEntry> ResultCache::lookup(const std::string& key) {
   obs::Span span("serve.cache.lookup");
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    CacheEntry entry = it->second->second;
+    CacheEntry entry = it->second->entry;
     touch(key, entry);
     stats_.hits++;
     obs::counter("serve.cache.hits", static_cast<double>(stats_.hits));
+    if (obs::metrics::enabled()) CacheMetrics::get().hits.inc();
     if (span.live()) span.arg("tier", "memory");
     return entry;
   }
@@ -114,6 +173,10 @@ std::optional<CacheEntry> ResultCache::lookup(const std::string& key) {
         stats_.hits++;
         stats_.disk_hits++;
         obs::counter("serve.cache.hits", static_cast<double>(stats_.hits));
+        if (obs::metrics::enabled()) {
+          CacheMetrics::get().hits.inc();
+          CacheMetrics::get().disk_read_bytes.inc(text.size());
+        }
         if (span.live()) span.arg("tier", "disk");
         return entry;
       }
@@ -122,6 +185,7 @@ std::optional<CacheEntry> ResultCache::lookup(const std::string& key) {
   }
   stats_.misses++;
   obs::counter("serve.cache.misses", static_cast<double>(stats_.misses));
+  if (obs::metrics::enabled()) CacheMetrics::get().misses.inc();
   if (span.live()) span.arg("tier", "miss");
   return std::nullopt;
 }
@@ -131,6 +195,7 @@ bool ResultCache::insert(const std::string& key, const CacheEntry& entry) {
   if (!entry.result.solved) return false;
   touch(key, entry);
   stats_.inserts++;
+  if (obs::metrics::enabled()) CacheMetrics::get().inserts.inc();
   if (!options_.disk_dir.empty()) {
     std::error_code ec;
     fs::create_directories(options_.disk_dir, ec);
@@ -142,6 +207,9 @@ bool ResultCache::insert(const std::string& key, const CacheEntry& entry) {
       obs::counter("serve.cache.bytes",
                    static_cast<double>(stats_.bytes_read +
                                        stats_.bytes_written));
+      if (obs::metrics::enabled()) {
+        CacheMetrics::get().disk_written_bytes.inc(text.size());
+      }
     }
   }
   if (span.live()) span.arg("entries", static_cast<int>(lru_.size()));

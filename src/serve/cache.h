@@ -83,17 +83,27 @@ class ResultCache {
   static CacheEntry entry_from_json(std::string_view json,
                                     std::string* key_out);
 
+  /// Approximate in-memory footprint of the LRU tier (key + serialized
+  /// payload size per entry). Maintained only while the metrics registry is
+  /// collecting; feeds the serve_cache_bytes gauge.
+  std::size_t memory_bytes() const { return mem_bytes_; }
+
  private:
+  struct Node {
+    std::string key;
+    CacheEntry entry;
+    std::size_t bytes = 0;  // approx footprint (0 when metrics are off)
+  };
+
   std::string path_for(const std::string& key) const;
   void touch(const std::string& key, CacheEntry entry);
 
   CacheOptions options_;
   CacheStats stats_;
-  /// Most-recent-first (key, entry) list + index into it.
-  std::list<std::pair<std::string, CacheEntry>> lru_;
-  std::unordered_map<std::string,
-                     std::list<std::pair<std::string, CacheEntry>>::iterator>
-      index_;
+  /// Most-recent-first node list + index into it.
+  std::list<Node> lru_;
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+  std::size_t mem_bytes_ = 0;
 };
 
 /// FNV-1a 64-bit hash (filenames of the persistent tier).

@@ -10,6 +10,9 @@
 //     --no-cache        disable all caching (baseline mode)
 //     --repeat K        serve the whole manifest K times        (default 1)
 //     --json FILE       write a machine-readable report to FILE
+//     --metrics-out FILE    write the metrics registry to FILE on exit
+//     --metrics-format F    exposition format: prom | json
+//                           (default: inferred, *.json => json)
 //
 // Both `--flag value` and `--flag=value` spellings are accepted. Requests
 // carrying an "expect" block are checked against the returned optima; any
@@ -25,7 +28,9 @@
 #include <vector>
 
 #include "layout/json.h"
+#include "obs/expose.h"
 #include "obs/json_escape.h"
+#include "obs/metrics.h"
 #include "serve/batch.h"
 #include "serve/manifest.h"
 
@@ -37,7 +42,9 @@ using namespace olsq2;
   std::cerr << "olsq2_serve: " << message << "\n"
             << "usage: olsq2_serve --manifest FILE [--base-dir DIR]\n"
             << "                   [--cache-dir DIR] [--lru N] [--no-cache]\n"
-            << "                   [--repeat K] [--json FILE]\n";
+            << "                   [--repeat K] [--json FILE]\n"
+            << "                   [--metrics-out FILE] "
+               "[--metrics-format prom|json]\n";
   std::exit(2);
 }
 
@@ -73,6 +80,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   serve::ServerOptions server_options;
   int repeat = 1;
+  std::string metrics_path;
+  std::string metrics_format;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string value;
@@ -91,12 +100,26 @@ int main(int argc, char** argv) {
       repeat = std::stoi(value);
     } else if (flag_value(args, i, "--json", value)) {
       json_path = value;
+    } else if (flag_value(args, i, "--metrics-out", value)) {
+      metrics_path = value;
+    } else if (flag_value(args, i, "--metrics-format", value)) {
+      metrics_format = value;
     } else {
       usage_error("unknown option '" + args[i] + "'");
     }
   }
   if (manifest_path.empty()) usage_error("--manifest is required");
   if (repeat < 1) usage_error("--repeat must be >= 1");
+  if (!metrics_format.empty() && metrics_format != "prom" &&
+      metrics_format != "json") {
+    usage_error("--metrics-format must be prom or json");
+  }
+  if (!metrics_format.empty() && metrics_path.empty()) {
+    usage_error("--metrics-format requires --metrics-out");
+  }
+  // Enable before the server (and its cache) is built, so every metric the
+  // serving path can touch is registered — a scrape shows zeros, not holes.
+  if (!metrics_path.empty()) obs::metrics::set_enabled(true);
   if (!base_dir_set) {
     base_dir = std::filesystem::path(manifest_path).parent_path().string();
   }
@@ -209,6 +232,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     file << out.str();
+  }
+
+  if (!metrics_path.empty() &&
+      !obs::metrics::write_metrics_file(metrics_path, metrics_format)) {
+    std::cerr << "olsq2_serve: cannot write " << metrics_path << "\n";
+    return 2;
   }
 
   if (failures > 0) {

@@ -1,0 +1,153 @@
+// Exposition round-trips: the Prometheus text writer against its own
+// parser, and the JSON snapshot against obs::JsonScanner (via the benchdiff
+// flattener, which is built on it), so both export formats stay readable by
+// the tooling that consumes them.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/expose.h"
+#include "obs/metrics.h"
+#include "tools/benchdiff.h"
+
+namespace olsq2::obs::metrics {
+namespace {
+
+class ExposeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    Registry::instance().reset_all();
+  }
+  void TearDown() override { set_enabled(false); }
+
+  /// One registry population shared by the round-trip tests.
+  void populate() {
+    Registry& reg = Registry::instance();
+    reg.counter("expose_requests_total", "Requests served").inc(42);
+    reg.counter("expose_hits_total", "", {{"tier", "memory"}}).inc(7);
+    reg.counter("expose_hits_total", "", {{"tier", "disk"}}).inc(3);
+    reg.gauge("expose_bytes", "Resident bytes").set(4096.0);
+    Histogram& h = reg.histogram("expose_latency_ms", "Latency");
+    for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  }
+
+  static double sample_value(const std::vector<PromSample>& samples,
+                             const std::string& name,
+                             const Labels& labels = {}) {
+    for (const auto& s : samples) {
+      if (s.name == name && s.labels == labels) return s.value;
+    }
+    ADD_FAILURE() << "sample not found: " << name;
+    return std::nan("");
+  }
+};
+
+TEST_F(ExposeTest, PrometheusRoundTrip) {
+  populate();
+  const std::string text = to_prometheus(Registry::instance().snapshot());
+  const std::vector<PromSample> samples = parse_prometheus(text);
+
+  EXPECT_EQ(sample_value(samples, "expose_requests_total"), 42.0);
+  EXPECT_EQ(sample_value(samples, "expose_hits_total", {{"tier", "memory"}}),
+            7.0);
+  EXPECT_EQ(sample_value(samples, "expose_hits_total", {{"tier", "disk"}}),
+            3.0);
+  EXPECT_EQ(sample_value(samples, "expose_bytes"), 4096.0);
+  EXPECT_EQ(sample_value(samples, "expose_latency_ms_count"), 100.0);
+  EXPECT_EQ(sample_value(samples, "expose_latency_ms_sum"), 5050.0);
+  EXPECT_EQ(sample_value(samples, "expose_latency_ms_min"), 1.0);
+  EXPECT_EQ(sample_value(samples, "expose_latency_ms_max"), 100.0);
+
+  // Histogram buckets are cumulative, monotone, and end at +Inf == count.
+  double last = 0;
+  bool saw_inf = false;
+  for (const auto& s : samples) {
+    if (s.name != "expose_latency_ms_bucket") continue;
+    EXPECT_GE(s.value, last);
+    last = s.value;
+    ASSERT_EQ(s.labels.size(), 1u);
+    EXPECT_EQ(s.labels[0].first, "le");
+    if (s.labels[0].second == "+Inf") {
+      saw_inf = true;
+      EXPECT_EQ(s.value, 100.0);
+    }
+  }
+  EXPECT_TRUE(saw_inf);
+}
+
+TEST_F(ExposeTest, PrometheusSanitizesNamesAndEscapesLabels) {
+  Registry& reg = Registry::instance();
+  reg.counter("bad.name-total", "", {{"k", "line1\nline2\"q\\b"}}).inc(1);
+  const std::string text = to_prometheus(Registry::instance().snapshot());
+  EXPECT_EQ(text.find("bad.name"), std::string::npos);
+  EXPECT_NE(text.find("bad_name_total"), std::string::npos);
+
+  const std::vector<PromSample> samples = parse_prometheus(text);
+  EXPECT_EQ(sample_value(samples, "bad_name_total",
+                         {{"k", "line1\nline2\"q\\b"}}),
+            1.0);
+}
+
+TEST_F(ExposeTest, JsonSnapshotParsesWithJsonScanner) {
+  populate();
+  const std::string text = to_json(Registry::instance().snapshot());
+  // flatten_json is a pure obs::JsonScanner consumer: if it accepts the
+  // document, the scanner-based tooling can read it.
+  const tools::FlatDoc doc = tools::flatten_json(text, "metrics json");
+  EXPECT_EQ(doc.numbers.at("schema_version"), 1.0);
+
+  ASSERT_EQ(doc.strings.count("metrics[expose_latency_ms].kind"), 1u);
+  EXPECT_EQ(doc.strings.at("metrics[expose_latency_ms].kind"), "histogram");
+  EXPECT_EQ(doc.numbers.at("metrics[expose_latency_ms].series[0].count"),
+            100.0);
+  EXPECT_EQ(doc.numbers.at("metrics[expose_latency_ms].series[0].sum"),
+            5050.0);
+  const double p50 =
+      doc.numbers.at("metrics[expose_latency_ms].series[0].p50");
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_EQ(doc.numbers.at("metrics[expose_requests_total].series[0].value"),
+            42.0);
+  EXPECT_EQ(doc.strings.at("metrics[expose_hits_total].series[0].labels.tier"),
+            "memory");
+}
+
+TEST_F(ExposeTest, WriteMetricsFileInfersFormat) {
+  populate();
+  const std::string dir = ::testing::TempDir();
+  const std::string json_path = dir + "/metrics_out.json";
+  const std::string prom_path = dir + "/metrics_out.prom";
+  ASSERT_TRUE(write_metrics_file(json_path, ""));
+  ASSERT_TRUE(write_metrics_file(prom_path, ""));
+
+  std::ifstream json_in(json_path);
+  std::stringstream json_buf;
+  json_buf << json_in.rdbuf();
+  EXPECT_EQ(json_buf.str().front(), '{');
+  EXPECT_NO_THROW(tools::flatten_json(json_buf.str(), "metrics json file"));
+
+  std::ifstream prom_in(prom_path);
+  std::stringstream prom_buf;
+  prom_buf << prom_in.rdbuf();
+  EXPECT_NE(prom_buf.str().find("# TYPE"), std::string::npos);
+  EXPECT_NO_THROW(parse_prometheus(prom_buf.str()));
+
+  EXPECT_FALSE(write_metrics_file(json_path, "xml"));
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+TEST_F(ExposeTest, ParsePrometheusRejectsMalformedInput) {
+  EXPECT_THROW(parse_prometheus("metric{unterminated 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_prometheus("metric_without_value\n"), std::runtime_error);
+  EXPECT_THROW(parse_prometheus("metric bogus\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace olsq2::obs::metrics

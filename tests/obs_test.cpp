@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "circuit/circuit.h"
 #include "device/presets.h"
@@ -120,6 +121,29 @@ TEST(ObsTrace, ChromeTraceParsesBack) {
   EXPECT_EQ(check.span_events, 1);
   EXPECT_EQ(check.counter_events, 1);
   EXPECT_GE(check.total_events, 3);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, CounterEventsCarryThreadId) {
+  const std::string path = testing::TempDir() + "/obs_counter_id_trace.json";
+  obs::Trace& trace = obs::Trace::instance();
+  trace.begin_capture(path);
+  obs::counter("learnts", 5.0);
+  std::thread([] { obs::counter("learnts", 9.0); }).join();
+  trace.end_capture();
+
+  const std::string text = read_file(path);
+  // Chrome groups counter tracks by (pid, name, id); without a per-thread
+  // id the two threads' samples would collapse into one zig-zag track.
+  const obs::CheckResult check = obs::validate_chrome_trace(text);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.counter_events, 2);
+  std::size_t ids = 0;
+  for (std::size_t pos = text.find("\"id\":\""); pos != std::string::npos;
+       pos = text.find("\"id\":\"", pos + 1)) {
+    ++ids;
+  }
+  EXPECT_EQ(ids, 2u) << text;
   std::remove(path.c_str());
 }
 

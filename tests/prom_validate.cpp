@@ -1,0 +1,116 @@
+// Tiny CLI checker for Prometheus text exposition files, used by the
+// serve_metrics ctest. Parses the file with obs::metrics::parse_prometheus
+// and asserts the requested samples exist (and optionally equal an exact
+// value):
+//
+//   prom_validate FILE --sample NAME [--sample NAME=VALUE] ...
+//
+// Exit 0 iff the file parses and every --sample check holds.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/expose.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: prom_validate FILE --sample NAME[=VALUE] ...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using olsq2::obs::metrics::PromSample;
+
+  std::string path;
+  // (name, has_value, value) triples from --sample arguments.
+  struct Check {
+    std::string name;
+    bool exact = false;
+    double value = 0.0;
+  };
+  std::vector<Check> checks;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sample") {
+      if (i + 1 >= argc) return usage();
+      std::string spec = argv[++i];
+      Check check;
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        check.name = spec;
+      } else {
+        check.name = spec.substr(0, eq);
+        check.exact = true;
+        try {
+          check.value = std::stod(spec.substr(eq + 1));
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "prom_validate: bad value in '%s'\n",
+                       spec.c_str());
+          return 2;
+        }
+      }
+      checks.push_back(std::move(check));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty() || checks.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "prom_validate: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::vector<PromSample> samples;
+  try {
+    samples = olsq2::obs::metrics::parse_prometheus(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prom_validate: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  int failures = 0;
+  for (const Check& check : checks) {
+    // Sum across label sets so labeled families (e.g. per-group counters)
+    // can be gated on their family total.
+    double total = 0.0;
+    bool found = false;
+    for (const PromSample& s : samples) {
+      if (s.name != check.name) continue;
+      found = true;
+      total += s.value;
+    }
+    if (!found) {
+      std::fprintf(stderr, "prom_validate: missing sample %s\n",
+                   check.name.c_str());
+      ++failures;
+      continue;
+    }
+    if (check.exact && total != check.value) {
+      std::fprintf(stderr, "prom_validate: %s = %g, want %g\n",
+                   check.name.c_str(), total, check.value);
+      ++failures;
+    }
+  }
+
+  if (failures == 0) {
+    std::printf("prom_validate: %zu checks passed on %s (%zu samples)\n",
+                checks.size(), path.c_str(), samples.size());
+  }
+  return failures == 0 ? 0 : 1;
+}

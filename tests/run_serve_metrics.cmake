@@ -1,0 +1,49 @@
+# ctest driver for the end-to-end metrics check: serve the golden manifest
+# three times through a fresh cache with --metrics-out, then assert the
+# Prometheus exposition contains the cache counters and a request-latency
+# histogram whose _count equals the total request count. Invoked as
+#   cmake -DSERVE_CLI=<exe> -DVALIDATOR=<exe> -DMANIFEST=<json>
+#         -DBASE_DIR=<dir> -DCACHE_DIR=<dir> -DMETRICS_FILE=<path>
+#         -DEXPECT_REQUESTS=<n> -P <this>
+foreach(var SERVE_CLI VALIDATOR MANIFEST BASE_DIR CACHE_DIR METRICS_FILE
+            EXPECT_REQUESTS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_serve_metrics.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${CACHE_DIR}")
+file(REMOVE "${METRICS_FILE}")
+
+execute_process(
+  COMMAND "${SERVE_CLI}"
+          --manifest "${MANIFEST}"
+          --base-dir "${BASE_DIR}"
+          --cache-dir "${CACHE_DIR}"
+          --repeat 3
+          --metrics-out "${METRICS_FILE}"
+          --metrics-format prom
+  RESULT_VARIABLE serve_rc
+  OUTPUT_QUIET)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "olsq2_serve_cli exited with ${serve_rc}")
+endif()
+
+if(NOT EXISTS "${METRICS_FILE}")
+  message(FATAL_ERROR "--metrics-out did not produce ${METRICS_FILE}")
+endif()
+
+# Rounds 2 and 3 answer entirely from the cache, so both hit and miss
+# counters must be present and nonzero-able; the request histogram must
+# account for every request exactly once.
+execute_process(
+  COMMAND "${VALIDATOR}" "${METRICS_FILE}"
+          --sample serve_cache_hits_total
+          --sample serve_cache_misses_total
+          --sample serve_requests_total=${EXPECT_REQUESTS}
+          --sample serve_request_duration_ms_count=${EXPECT_REQUESTS}
+          --sample serve_request_duration_ms_sum
+  RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "metrics validation failed with ${validate_rc}")
+endif()

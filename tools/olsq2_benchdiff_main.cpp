@@ -1,0 +1,118 @@
+// olsq2_benchdiff: gate CI on benchmark regressions.
+//
+//   $ ./olsq2_benchdiff BASELINE.json CURRENT.json [options]
+//     --max-regress P      tolerated relative timing increase, e.g.
+//                          "15%" or "0.15"                    (default 15%)
+//     --min-ms N           timing noise floor in milliseconds (default 20)
+//     --max-ratio-drop P   tolerated relative ratio (speedup)
+//                          decrease                           (default 50%)
+//
+// Exit codes: 0 = no regression, 1 = regression, 2 = documents not
+// comparable (schema/config mismatch) or unreadable input. See
+// tools/benchdiff.h for the key classification.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/benchdiff.h"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "olsq2_benchdiff: " << message << "\n"
+            << "usage: olsq2_benchdiff BASELINE.json CURRENT.json\n"
+            << "                       [--max-regress P%] [--min-ms N]\n"
+            << "                       [--max-ratio-drop P%]\n";
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// "15%" -> 0.15, "0.15" -> 0.15.
+double parse_fraction(std::string text) {
+  bool percent = false;
+  if (!text.empty() && text.back() == '%') {
+    percent = true;
+    text.pop_back();
+  }
+  std::size_t consumed = 0;
+  double v = 0;
+  try {
+    v = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    usage_error("bad fraction '" + text + "'");
+  }
+  if (consumed != text.size() || v < 0) {
+    usage_error("bad fraction '" + text + "'");
+  }
+  return percent ? v / 100.0 : v;
+}
+
+void print_section(const char* title, const std::vector<std::string>& lines) {
+  if (lines.empty()) return;
+  std::cout << title << "\n";
+  for (const auto& line : lines) std::cout << "  " << line << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> files;
+  olsq2::tools::DiffOptions options;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value_of = [&](const std::string& flag) -> std::string {
+      if (arg.rfind(flag + "=", 0) == 0) return arg.substr(flag.size() + 1);
+      if (i + 1 >= args.size()) usage_error(flag + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--max-regress" || arg.rfind("--max-regress=", 0) == 0) {
+      options.max_regress = parse_fraction(value_of("--max-regress"));
+    } else if (arg == "--min-ms" || arg.rfind("--min-ms=", 0) == 0) {
+      options.min_ms = parse_fraction(value_of("--min-ms"));
+    } else if (arg == "--max-ratio-drop" ||
+               arg.rfind("--max-ratio-drop=", 0) == 0) {
+      options.max_ratio_drop = parse_fraction(value_of("--max-ratio-drop"));
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown option '" + arg + "'");
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) usage_error("expected BASELINE.json CURRENT.json");
+
+  const std::string baseline = read_file(files[0]);
+  const std::string current = read_file(files[1]);
+  const olsq2::tools::DiffReport report =
+      olsq2::tools::diff_bench_json(baseline, current, options);
+
+  print_section("CONFIG MISMATCH:", report.mismatches);
+  print_section("REGRESSIONS:", report.regressions);
+  print_section("improvements:", report.improvements);
+  print_section("notes:", report.notes);
+
+  switch (report.status) {
+    case olsq2::tools::DiffStatus::kOk:
+      std::cout << "benchdiff: OK (" << files[1] << " vs baseline "
+                << files[0] << ")\n";
+      return 0;
+    case olsq2::tools::DiffStatus::kRegression:
+      std::cerr << "benchdiff: " << report.regressions.size()
+                << " regression(s)\n";
+      return 1;
+    case olsq2::tools::DiffStatus::kError:
+      std::cerr << "benchdiff: runs not comparable\n";
+      return 2;
+  }
+  return 2;
+}
