@@ -1,0 +1,236 @@
+#include "analysis/concurrency/lock_order.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace olsq2::analysis::concurrency {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+struct HeldLock {
+  const void* lock = nullptr;
+  const char* name = "";  // rank names are string literals in the wrappers
+  std::string location;
+};
+
+/// Per-thread stack of currently held contract locks, outermost first.
+/// Maintained whenever tracking is on; on_release also pops entries after
+/// tracking is switched off so a toggle mid-hold cannot leave stale frames.
+thread_local std::vector<HeldLock> t_held;
+
+struct Edge {
+  /// Example acquisition that first established the edge: the full held
+  /// stack at that moment, the acquired lock last.
+  std::vector<AcquisitionSite> stack;
+};
+
+/// Process-wide acquisition graph. Leaky singleton: lock/unlock hooks may
+/// run during static destruction (metrics/trace exit dumps), so the state
+/// must never be destroyed.
+struct State {
+  std::mutex mutex;  // tracker internals; exempt from the contract layer
+  /// from-rank -> to-rank -> example. Edges are never removed; the graph
+  /// accumulates the orders the process has exhibited.
+  std::map<std::string, std::map<std::string, Edge>> edges;
+  /// Closing edges already reported (one report per distinct inversion).
+  std::set<std::pair<std::string, std::string>> reported;
+  std::vector<InversionReport> reports;
+  bool abort_on_cycle = false;
+};
+
+State& state() {
+  static State* s = new State;
+  return *s;
+}
+
+std::vector<AcquisitionSite> snapshot_stack(const HeldLock* extra_lock,
+                                            const char* extra_name,
+                                            const std::string& extra_loc) {
+  std::vector<AcquisitionSite> stack;
+  stack.reserve(t_held.size() + 1);
+  for (const HeldLock& h : t_held) {
+    stack.push_back({h.name, h.location});
+  }
+  (void)extra_lock;
+  stack.push_back({extra_name, extra_loc});
+  return stack;
+}
+
+void render_stack(std::ostream& out, const std::vector<AcquisitionSite>& stack,
+                  const char* indent) {
+  for (const AcquisitionSite& site : stack) {
+    out << indent << site.lock_name << " acquired at " << site.location
+        << "\n";
+  }
+}
+
+/// Search for a path `from` => `to` in the edge graph (caller holds
+/// state().mutex). Returns the edge sequence of one such path, empty when
+/// unreachable.
+std::vector<CycleEdge> find_path(const State& s, const std::string& from,
+                                 const std::string& to) {
+  // Iterative DFS with a parent map for path reconstruction.
+  std::map<std::string, std::string> parent;  // node -> predecessor
+  std::vector<std::string> work{from};
+  std::set<std::string> seen{from};
+  while (!work.empty()) {
+    const std::string node = work.back();
+    work.pop_back();
+    const auto it = s.edges.find(node);
+    if (it == s.edges.end()) continue;
+    for (const auto& [next, edge] : it->second) {
+      if (!seen.insert(next).second) continue;
+      parent[next] = node;
+      if (next == to) {
+        // Reconstruct to -> ... -> from, then reverse into edge order.
+        std::vector<std::string> nodes{to};
+        while (nodes.back() != from) nodes.push_back(parent[nodes.back()]);
+        std::vector<CycleEdge> path;
+        for (std::size_t i = nodes.size(); i-- > 1;) {
+          CycleEdge ce;
+          ce.from = nodes[i];
+          ce.to = nodes[i - 1];
+          ce.stack = s.edges.at(ce.from).at(ce.to).stack;
+          path.push_back(std::move(ce));
+        }
+        return path;
+      }
+      work.push_back(next);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  state();  // force construction before first hook
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.edges.clear();
+  s.reported.clear();
+  s.reports.clear();
+  // Also drop abort-on-cycle: the tracker's own tests construct deliberate
+  // inversions and must not die under OLSQ2_LOCK_ORDER=abort (the CI tsan
+  // lane exports it process-wide).
+  s.abort_on_cycle = false;
+}
+
+std::vector<InversionReport> take_reports() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return std::move(s.reports);
+}
+
+std::size_t held_count() { return t_held.size(); }
+
+namespace internal {
+
+void on_acquire(const void* lock, const char* name, const char* file,
+                int line, bool check_order) {
+  if (!enabled()) return;
+  std::string location = std::string(file) + ":" + std::to_string(line);
+  if (check_order && !t_held.empty()) {
+    const std::string from = t_held.back().name;
+    const std::string to = name;
+    State& s = state();
+    std::lock_guard<std::mutex> guard(s.mutex);
+    const bool known = s.edges.count(from) != 0 &&
+                       s.edges.at(from).count(to) != 0;
+    if (!known) {
+      // Before recording from -> to, look for the reverse order to => from
+      // (a self-edge from == to is the degenerate cycle). Innermost-held
+      // edges are sufficient: every adjacent pair in any held stack was
+      // itself recorded when acquired, so transitive orders are reachable.
+      std::vector<CycleEdge> reverse = from == to
+                                           ? std::vector<CycleEdge>{}
+                                           : find_path(s, to, from);
+      const bool cycle = from == to || !reverse.empty();
+      if (cycle && s.reported.insert({from, to}).second) {
+        InversionReport report;
+        report.lock_name = to;
+        report.stack = snapshot_stack(nullptr, name, location);
+        report.reverse_path = std::move(reverse);
+        std::ostringstream out;
+        out << "olsq2 lock-order: potential deadlock acquiring \"" << to
+            << "\" while holding \"" << from << "\"";
+        if (from == to) {
+          out << " (same rank acquired twice)\n";
+        } else {
+          out << ", but the opposite order \"" << to << "\" => \"" << from
+              << "\" was previously recorded\n";
+        }
+        out << "  this acquisition (outermost lock first):\n";
+        render_stack(out, report.stack, "    ");
+        for (const CycleEdge& ce : report.reverse_path) {
+          out << "  previously recorded \"" << ce.from << "\" -> \"" << ce.to
+              << "\" (outermost lock first):\n";
+          render_stack(out, ce.stack, "    ");
+        }
+        report.description = out.str();
+        std::cerr << report.description;
+        if (s.abort_on_cycle) std::abort();
+        s.reports.push_back(std::move(report));
+      }
+      Edge edge;
+      edge.stack = snapshot_stack(nullptr, name, location);
+      s.edges[from][to] = std::move(edge);
+    }
+  }
+  t_held.push_back({lock, name, std::move(location)});
+}
+
+void on_release(const void* lock) {
+  // Runs regardless of enabled(): a disable between lock and unlock must
+  // still pop the frame. Out-of-order unlocks are tolerated (search from
+  // the innermost end); absent frames (tracking enabled mid-hold) are a
+  // no-op.
+  for (std::size_t i = t_held.size(); i-- > 0;) {
+    if (t_held[i].lock == lock) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void apply_env_config() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): static-initializer probe plus
+  // an idempotent lazy call from the first acquisition; no setenv races.
+  const char* env = std::getenv("OLSQ2_LOCK_ORDER");
+  if (env == nullptr || *env == '\0' || std::string_view(env) == "0") return;
+  State& s = state();
+  if (std::string_view(env) == "abort") {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.abort_on_cycle = true;
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+namespace {
+/// Process-start env probe (mirrors the metrics registry's pattern).
+const bool g_env_probe = [] {
+  apply_env_config();
+  return true;
+}();
+}  // namespace
+
+}  // namespace internal
+
+}  // namespace olsq2::analysis::concurrency

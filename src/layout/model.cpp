@@ -18,6 +18,7 @@ namespace {
 // and aborts on lint errors — the debug path CI's lint job exercises.
 bool lint_encodings_enabled() {
   static const bool enabled = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once via static init.
     const char* v = std::getenv("OLSQ2_LINT_ENCODING");
     return v != nullptr && *v != '\0' && std::string_view(v) != "0";
   }();
@@ -33,6 +34,8 @@ bool lint_encodings_enabled() {
 // Never set this variable outside that test. Re-read on every model build
 // (not cached) so one process can test both arms.
 bool inject_encoding_bug() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): only the single-threaded fuzz
+  // harness sets this variable (and only between solves, never mid-solve).
   const char* v = std::getenv("OLSQ2_FUZZ_INJECT_ENCODING_BUG");
   return v != nullptr && *v != '\0' && std::string_view(v) != "0";
 }

@@ -8,6 +8,7 @@
 #include "layout/tb.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "util/sync.h"
 
 namespace olsq2::layout {
 
@@ -57,6 +58,18 @@ PortfolioResult synthesize_portfolio(const Problem& problem,
   sat::ClauseExchange exchange;
   std::atomic<bool> cancel{false};
 
+  // Reconciliation state the racing workers write into; guarded by an
+  // annotated contract mutex (leaf rank - nothing nests inside it). Moved
+  // into the result wholesale once every thread has joined.
+  struct Reconcile {
+    sync::Mutex mutex{"layout.portfolio.results"};
+    std::vector<Result> all OLSQ2_GUARDED_BY(mutex);
+  } shared;
+  {
+    sync::MutexLock lock(shared.mutex);
+    shared.all.resize(entries.size());
+  }
+
   auto worker = [&](std::size_t index) {
     PortfolioEntry& entry = entries[index];
     entry.options.cancel = &cancel;
@@ -73,13 +86,15 @@ PortfolioResult synthesize_portfolio(const Problem& problem,
                                              entry.options);
     worker_span.arg("solved", r.solved);
     worker_span.arg("hit_budget", r.hit_budget);
-    result.all[index] = std::move(r);
     // The first complete (non-budget-hit) optimal answer cancels everyone
     // else; peers that finish before the cancellation lands still report a
     // complete result and compete for the win below.
-    if (result.all[index].solved && !result.all[index].hit_budget) {
-      cancel.store(true, std::memory_order_relaxed);
+    const bool complete = r.solved && !r.hit_budget;
+    {
+      sync::MutexLock lock(shared.mutex);
+      shared.all[index] = std::move(r);
     }
+    if (complete) cancel.store(true, std::memory_order_relaxed);
   };
 
   std::vector<std::thread> threads;
@@ -88,6 +103,10 @@ PortfolioResult synthesize_portfolio(const Problem& problem,
     threads.emplace_back(worker, i);
   }
   for (auto& t : threads) t.join();
+  {
+    sync::MutexLock lock(shared.mutex);
+    result.all = std::move(shared.all);
+  }
 
   // Pick the best answer, preferring complete finishers over partial ones:
   // objective value first, then wall-clock. All complete finishers proved

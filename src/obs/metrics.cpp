@@ -7,8 +7,9 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/sync.h"
 
 #include "obs/expose.h"
 #include "obs/obs.h"
@@ -159,10 +160,14 @@ struct Registry::Family {
 };
 
 struct Registry::Impl {
-  mutable std::mutex mutex;
-  std::vector<std::unique_ptr<Family>> families;  // registration order
-  std::map<std::string, Family*, std::less<>> by_name;
-  std::string dump_file;  // non-empty => write at process exit
+  mutable sync::Mutex mutex{"obs.metrics.registry"};
+  /// Registration order.
+  std::vector<std::unique_ptr<Family>> families OLSQ2_GUARDED_BY(mutex);
+  std::map<std::string, Family*, std::less<>> by_name OLSQ2_GUARDED_BY(mutex);
+  /// Non-empty => write at process exit. Set once in the constructor
+  /// (single-threaded), read in the destructor; ctor/dtor are exempt from
+  /// the analysis.
+  std::string dump_file;
 };
 
 namespace {
@@ -189,6 +194,8 @@ T& find_or_create(std::vector<std::pair<Labels, std::unique_ptr<T>>>& series,
 }  // namespace
 
 Registry::Registry() : impl_(new Impl) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): the singleton constructs under
+  // the magic-static guard before worker threads touch metrics; no setenv.
   if (const char* env = std::getenv("OLSQ2_METRICS");
       env != nullptr && *env != '\0') {
     set_enabled(true);
@@ -234,27 +241,27 @@ Registry::Family& Registry::family(std::string_view name,
 
 Counter& Registry::counter(std::string_view name, std::string_view help,
                            Labels labels) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  sync::MutexLock lock(impl_->mutex);
   return find_or_create(family(name, help, Kind::kCounter).counters,
                         std::move(labels));
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view help,
                        Labels labels) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  sync::MutexLock lock(impl_->mutex);
   return find_or_create(family(name, help, Kind::kGauge).gauges,
                         std::move(labels));
 }
 
 Histogram& Registry::histogram(std::string_view name, std::string_view help,
                                Labels labels) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  sync::MutexLock lock(impl_->mutex);
   return find_or_create(family(name, help, Kind::kHistogram).histograms,
                         std::move(labels));
 }
 
 std::vector<Registry::FamilySnapshot> Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  sync::MutexLock lock(impl_->mutex);
   std::vector<FamilySnapshot> out;
   out.reserve(impl_->families.size());
   for (const auto& fam : impl_->families) {
@@ -278,7 +285,7 @@ std::vector<Registry::FamilySnapshot> Registry::snapshot() const {
 }
 
 void Registry::reset_all() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  sync::MutexLock lock(impl_->mutex);
   for (const auto& fam : impl_->families) {
     for (auto& [labels, c] : fam->counters) c->reset();
     for (auto& [labels, g] : fam->gauges) g->reset();
@@ -290,6 +297,7 @@ namespace {
 // Force-construct the registry when OLSQ2_METRICS is set so the exit dump
 // fires even if no metric is ever touched.
 const bool g_env_probe = [] {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): static initializer, pre-main.
   if (const char* env = std::getenv("OLSQ2_METRICS");
       env != nullptr && *env != '\0') {
     Registry::instance();

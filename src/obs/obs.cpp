@@ -48,9 +48,12 @@ void append_args(std::ostringstream& out, const std::vector<Arg>& args) {
 
 EnvConfig read_env_config() {
   EnvConfig config;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): called once from the Trace
+  // singleton's constructor, before any traced thread starts; no setenv.
   if (const char* file = std::getenv("OLSQ2_TRACE"); file != nullptr && *file) {
     config.trace_file = file;
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): same single-shot context.
   if (const char* s = std::getenv("OLSQ2_TRACE_SUMMARY");
       s != nullptr && *s && *s != '0') {
     config.summary = true;
@@ -80,21 +83,23 @@ std::uint32_t Trace::thread_id() {
   return id;
 }
 
-TimeNs Trace::now_ns() const { return steady_now_ns() - epoch_ns_; }
+TimeNs Trace::now_ns() const {
+  return steady_now_ns() - epoch_ns_.load(std::memory_order_acquire);
+}
 
 void Trace::begin_capture(std::string trace_file, bool summary) {
   if (enabled()) end_capture();
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   trace_file_ = std::move(trace_file);
   summary_ = summary;
   events_.clear();
   thread_names_.clear();
-  epoch_ns_ = steady_now_ns();
+  epoch_ns_.store(steady_now_ns(), std::memory_order_release);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 std::string Trace::end_capture() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   enabled_.store(false, std::memory_order_relaxed);
   const std::string summary_text = build_summary(events_);
   if (!trace_file_.empty()) {
@@ -115,18 +120,18 @@ std::string Trace::end_capture() {
 
 void Trace::record(Event e) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   events_.push_back(std::move(e));
 }
 
 void Trace::set_thread_name(std::string name) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   thread_names_.emplace_back(thread_id(), std::move(name));
 }
 
 std::vector<Event> Trace::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return events_;
 }
 

@@ -26,10 +26,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace olsq2::obs {
 
@@ -100,13 +101,17 @@ class Trace {
  private:
   Trace();
 
-  mutable std::mutex mutex_;
+  mutable sync::Mutex mutex_{"obs.trace"};
   std::atomic<bool> enabled_{false};
-  std::vector<Event> events_;
-  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
-  std::string trace_file_;
-  bool summary_ = false;
-  std::int64_t epoch_ns_ = 0;  // steady_clock ns at capture start
+  std::vector<Event> events_ OLSQ2_GUARDED_BY(mutex_);
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_
+      OLSQ2_GUARDED_BY(mutex_);
+  std::string trace_file_ OLSQ2_GUARDED_BY(mutex_);
+  bool summary_ OLSQ2_GUARDED_BY(mutex_) = false;
+  /// steady_clock ns at capture start. Atomic, not guarded: now_ns() runs
+  /// on every live span and must stay off the trace lock; begin_capture
+  /// publishes the new epoch with a release store.
+  std::atomic<std::int64_t> epoch_ns_{0};
 };
 
 /// RAII timed region. When tracing is disabled construction is one relaxed

@@ -32,7 +32,7 @@ ClauseExchange::GroupMetrics& ClauseExchange::metrics_for(int group) {
 }
 
 int ClauseExchange::add_solver(const std::string& group) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   SolverSlot slot;
   // Namespace by problem: identical encoding fingerprints for different
   // problems (e.g. relabeled instances) must land in different groups.
@@ -52,7 +52,7 @@ int ClauseExchange::add_solver(const std::string& group) {
 }
 
 void ClauseExchange::begin_problem(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (problem_key_ == key) return;
   problem_key_ = key;
   // Cut off the clause backlog: groups are namespaced so stale clauses
@@ -65,7 +65,7 @@ void ClauseExchange::begin_problem(const std::string& key) {
   depth_unsat_max_.store(-1, std::memory_order_release);
   depth_sat_min_.store(std::numeric_limits<int>::max(),
                        std::memory_order_release);
-  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  sync::MutexLock swap_lock(swap_mutex_);
   swap_unsat_.clear();
 }
 
@@ -78,14 +78,14 @@ bool ClauseExchange::publish(int solver_id, std::span<const Lit> lits,
     if (obs::metrics::enabled()) {
       // Off the lock-free fast path only when metrics are on: the group
       // label lives behind the hub mutex.
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(mutex_);
       if (solver_id >= 0 && solver_id < static_cast<int>(solvers_.size())) {
         metrics_for(solvers_[solver_id].group).filtered->inc();
       }
     }
     return false;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   assert(solver_id >= 0 &&
          solver_id < static_cast<int>(solvers_.size()));
   SharedClause sc;
@@ -108,7 +108,7 @@ bool ClauseExchange::publish(int solver_id, std::span<const Lit> lits,
 }
 
 bool ClauseExchange::has_new(int solver_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (solver_id < 0 || solver_id >= static_cast<int>(solvers_.size())) {
     return false;
   }
@@ -119,25 +119,33 @@ bool ClauseExchange::has_new(int solver_id) const {
 std::size_t ClauseExchange::collect(
     int solver_id,
     const std::function<void(std::span<const Lit>, unsigned)>& fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  assert(solver_id >= 0 && solver_id < static_cast<int>(solvers_.size()));
-  SolverSlot& slot = solvers_[solver_id];
-  std::uint64_t cursor = slot.cursor;
-  const std::uint64_t end = next_seq_.load(std::memory_order_relaxed);
-  if (cursor < base_seq_) cursor = base_seq_;  // missed evicted clauses
-  std::size_t n = 0;
-  for (; cursor < end; ++cursor) {
-    const SharedClause& sc = buffer_[cursor - base_seq_];
-    if (sc.source == solver_id || sc.group != slot.group) continue;
-    fn(std::span<const Lit>(sc.lits), sc.lbd);
-    n++;
+  // Copy phase: everything the hub lock guards happens here; the callbacks
+  // run after the lock is released. Importers attach clauses, propagate
+  // units, and (under OLSQ2_CHECK_INVARIANTS) walk the whole solver -
+  // none of which may nest inside hub state (DESIGN.md §11).
+  std::vector<std::pair<std::vector<Lit>, unsigned>> pending;
+  {
+    sync::MutexLock lock(mutex_);
+    assert(solver_id >= 0 && solver_id < static_cast<int>(solvers_.size()));
+    SolverSlot& slot = solvers_[solver_id];
+    std::uint64_t cursor = slot.cursor;
+    const std::uint64_t end = next_seq_.load(std::memory_order_relaxed);
+    if (cursor < base_seq_) cursor = base_seq_;  // missed evicted clauses
+    for (; cursor < end; ++cursor) {
+      const SharedClause& sc = buffer_[cursor - base_seq_];
+      if (sc.source == solver_id || sc.group != slot.group) continue;
+      pending.emplace_back(sc.lits, sc.lbd);
+    }
+    slot.cursor = cursor;
+    delivered_.fetch_add(pending.size(), std::memory_order_relaxed);
+    if (!pending.empty() && obs::metrics::enabled()) {
+      metrics_for(slot.group).delivered->inc(pending.size());
+    }
   }
-  slot.cursor = cursor;
-  delivered_.fetch_add(n, std::memory_order_relaxed);
-  if (n > 0 && obs::metrics::enabled()) {
-    metrics_for(slot.group).delivered->inc(n);
+  for (const auto& [lits, lbd] : pending) {
+    fn(std::span<const Lit>(lits), lbd);
   }
-  return n;
+  return pending.size();
 }
 
 ClauseExchange::Traffic ClauseExchange::traffic() const {
@@ -174,7 +182,7 @@ void ClauseExchange::note_depth_sat(int depth) {
 }
 
 void ClauseExchange::note_swap_unsat(int depth, int swaps) {
-  std::lock_guard<std::mutex> lock(swap_mutex_);
+  sync::MutexLock lock(swap_mutex_);
   // Keep only non-dominated facts: (d, k) refutes every (d' <= d, k' <= k),
   // so a fact with both coordinates <= another's adds nothing.
   for (const auto& [d, k] : swap_unsat_) {
@@ -188,7 +196,7 @@ void ClauseExchange::note_swap_unsat(int depth, int swaps) {
 }
 
 bool ClauseExchange::swap_known_unsat(int depth, int swaps) const {
-  std::lock_guard<std::mutex> lock(swap_mutex_);
+  sync::MutexLock lock(swap_mutex_);
   for (const auto& [d, k] : swap_unsat_) {
     if (d >= depth && k >= swaps) return true;
   }

@@ -16,10 +16,15 @@
 // within a group, while bound facts - which are statements about the
 // problem, not about any CNF - flow globally.
 //
-// Concurrency: one mutex guards the shared clause buffer; the publish
-// filter and the "anything new for me?" check run lock-free on atomics so
-// solvers touch the lock only when clauses actually cross threads
-// (generation-stamped hand-off). All methods are thread-safe.
+// Concurrency: one annotated mutex ("sat.exchange.hub") guards the shared
+// clause buffer and the registries; a second ("sat.exchange.swap_facts")
+// guards the non-dominated swap-fact set. The publish filter and the
+// "anything new for me?" check run lock-free on atomics so solvers touch
+// the lock only when clauses actually cross threads (generation-stamped
+// hand-off). All methods are thread-safe. Lock hierarchy (DESIGN.md §11):
+// hub -> swap_facts, hub -> obs.metrics.registry; collect() invokes its
+// callback *outside* the hub lock, so importers may do arbitrary solver
+// work (invariant audits, propagation) without holding hub state.
 #pragma once
 
 #include <atomic>
@@ -28,12 +33,12 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "sat/types.h"
+#include "util/sync.h"
 
 namespace olsq2::obs::metrics {
 class Counter;
@@ -87,7 +92,10 @@ class ClauseExchange {
 
   /// Deliver every clause published by *other* same-group solvers since
   /// this solver's last collect; advances the solver's cursor. Returns the
-  /// number of clauses delivered.
+  /// number of clauses delivered. The pending clauses are copied out under
+  /// the hub lock and `fn` runs after it is released: the callback may
+  /// take arbitrarily long (unit propagation, invariant audits) and may
+  /// itself acquire downstream locks without extending the hub's hold.
   std::size_t collect(
       int solver_id,
       const std::function<void(std::span<const Lit>, unsigned lbd)>& fn);
@@ -166,19 +174,24 @@ class ClauseExchange {
     obs::metrics::Counter* filtered = nullptr;
     obs::metrics::Counter* delivered = nullptr;
   };
-  /// Handles for group id `group`; requires mutex_ held.
-  GroupMetrics& metrics_for(int group);
+  /// Handles for group id `group`.
+  GroupMetrics& metrics_for(int group) OLSQ2_REQUIRES(mutex_);
 
   Options options_;
 
-  mutable std::mutex mutex_;          // guards buffer_, solvers_, groups_
-  std::string problem_key_;           // namespace for group registration
-  std::deque<SharedClause> buffer_;   // clause seq i lives at buffer_[i - base_seq_]
-  std::uint64_t base_seq_ = 0;        // seq of buffer_.front()
+  mutable sync::Mutex mutex_{"sat.exchange.hub"};
+  /// Namespace for group registration.
+  std::string problem_key_ OLSQ2_GUARDED_BY(mutex_);
+  /// Clause seq i lives at buffer_[i - base_seq_].
+  std::deque<SharedClause> buffer_ OLSQ2_GUARDED_BY(mutex_);
+  /// Seq of buffer_.front().
+  std::uint64_t base_seq_ OLSQ2_GUARDED_BY(mutex_) = 0;
   std::atomic<std::uint64_t> next_seq_{0};
-  std::vector<SolverSlot> solvers_;
-  std::vector<std::string> groups_;   // group id -> key
-  std::vector<GroupMetrics> group_metrics_;  // parallel to groups_, lazy
+  std::vector<SolverSlot> solvers_ OLSQ2_GUARDED_BY(mutex_);
+  /// Group id -> key.
+  std::vector<std::string> groups_ OLSQ2_GUARDED_BY(mutex_);
+  /// Parallel to groups_, lazily resolved.
+  std::vector<GroupMetrics> group_metrics_ OLSQ2_GUARDED_BY(mutex_);
 
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> filtered_{0};
@@ -190,9 +203,9 @@ class ClauseExchange {
   std::atomic<int> depth_unsat_max_{-1};
   std::atomic<int> depth_sat_min_{std::numeric_limits<int>::max()};
 
-  mutable std::mutex swap_mutex_;
+  mutable sync::Mutex swap_mutex_{"sat.exchange.swap_facts"};
   /// Non-dominated (depth, swaps) UNSAT facts.
-  std::vector<std::pair<int, int>> swap_unsat_;
+  std::vector<std::pair<int, int>> swap_unsat_ OLSQ2_GUARDED_BY(swap_mutex_);
 };
 
 }  // namespace olsq2::sat

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/concurrency/lock_order.h"
 #include "sat/clause_data.h"
 #include "sat/solver.h"
 
@@ -208,6 +209,21 @@ bool Solver::check_invariants(std::vector<std::string>* errors) const {
 
 void Solver::audit_invariants(const char* where) const {
   if (!check_invariants_enabled_) return;
+  // The audit walks every watch list, the trail, and all reason clauses -
+  // a long, allocation-heavy traversal of this thread's solver. Contract:
+  // it runs with no concurrency-contract locks held. In particular it must
+  // never run under the exchange hub lock; ClauseExchange::collect copies
+  // shared clauses out *before* invoking the import callback precisely so
+  // the post-import audit (and the unit propagation before it) is
+  // lock-free. The lock-order tracker enforces this in debug runs; see
+  // DESIGN.md §11 for the hierarchy.
+  if (analysis::concurrency::enabled() &&
+      analysis::concurrency::held_count() != 0) {
+    throw std::logic_error(
+        std::string("sat::Solver invariant audit at ") + where +
+        " entered with a concurrency-contract lock held; audits must run "
+        "lock-free (DESIGN.md §11)");
+  }
   std::vector<std::string> errors;
   if (check_invariants(&errors)) return;
   std::ostringstream message;

@@ -20,6 +20,8 @@ namespace {
 // deep self-checks on every solver in the process; read once.
 bool invariants_enabled_by_env() {
   static const bool enabled = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once via static init,
+    // before any solver thread exists; nothing in-process calls setenv.
     const char* v = std::getenv("OLSQ2_CHECK_INVARIANTS");
 #ifdef OLSQ2_CHECK_INVARIANTS_DEFAULT
     // Compiled-in default: on, unless the environment explicitly disables.

@@ -184,7 +184,10 @@ std::vector<Response> Server::serve_batch(
   // or configs run back-to-back; begin_problem() fences bound facts at
   // instance boundaries (and at the TB/time-resolved semantic boundary -
   // TB "depth" counts blocks, so TB facts must not prune a time-resolved
-  // search).
+  // search). The whole solve phase is one critical section: the hub's
+  // fencing protocol is stateful, so a second concurrent batch must not
+  // re-fence mid-sequence.
+  sync::MutexLock solve_lock(solve_mutex_);
   for (const auto& [key, indices] : residual) {
     const std::size_t leader = indices.front();
     const Request& req = requests[leader];

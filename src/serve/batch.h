@@ -22,6 +22,13 @@
 // ClauseExchange::begin_problem fences them off between different
 // instances. Solving happens in canonical space; every response is
 // un-relabeled through the request's own witness (serve/transfer.h).
+// Concurrency: a Server may be shared by concurrent callers. The cache is
+// internally thread-safe (serve/cache.h); the solve phase is serialized by
+// the annotated "serve.batch.solve" mutex because the exchange hub's
+// begin_problem() fencing protocol is stateful - two interleaved batches
+// would re-fence each other's bound facts mid-solve. Lock hierarchy
+// (DESIGN.md §11): serve.batch.solve -> sat.exchange.hub -> ... and
+// serve.batch.solve -> serve.cache.
 #pragma once
 
 #include <string>
@@ -31,6 +38,7 @@
 #include "sat/exchange.h"
 #include "serve/cache.h"
 #include "serve/canonical.h"
+#include "util/sync.h"
 
 namespace olsq2::serve {
 
@@ -91,19 +99,27 @@ class Server {
   explicit Server(ServerOptions options = {});
 
   /// Serve one request (equivalent to a one-element batch).
-  Response serve(const Request& request);
+  Response serve(const Request& request) OLSQ2_EXCLUDES(solve_mutex_);
 
   /// Serve a batch: cache hits answered first, residual work deduplicated
   /// and solved in key order on the shared exchange hub. Responses are in
-  /// request order.
-  std::vector<Response> serve_batch(const std::vector<Request>& requests);
+  /// request order. Thread-safe; concurrent batches interleave at the
+  /// lookup phase and serialize on the solve phase (see header comment).
+  std::vector<Response> serve_batch(const std::vector<Request>& requests)
+      OLSQ2_EXCLUDES(solve_mutex_);
 
   ResultCache& cache() { return cache_; }
+  /// The shared hub. Internally thread-safe, but its begin_problem()
+  /// fencing is coordinated by solve_mutex_ - do not fence externally
+  /// while batches are in flight.
   sat::ClauseExchange& exchange() { return exchange_; }
 
  private:
   ServerOptions options_;
   ResultCache cache_;
+  /// Serializes the residual-solve phase: exchange_ fencing + solve +
+  /// cache insert run as one critical section per batch.
+  sync::Mutex solve_mutex_{"serve.batch.solve"};
   sat::ClauseExchange exchange_;
 };
 

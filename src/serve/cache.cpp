@@ -146,6 +146,7 @@ void ResultCache::touch(const std::string& key, CacheEntry entry) {
 
 std::optional<CacheEntry> ResultCache::lookup(const std::string& key) {
   obs::Span span("serve.cache.lookup");
+  sync::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     CacheEntry entry = it->second->entry;
@@ -193,6 +194,7 @@ std::optional<CacheEntry> ResultCache::lookup(const std::string& key) {
 bool ResultCache::insert(const std::string& key, const CacheEntry& entry) {
   obs::Span span("serve.cache.insert");
   if (!entry.result.solved) return false;
+  sync::MutexLock lock(mutex_);
   touch(key, entry);
   stats_.inserts++;
   if (obs::metrics::enabled()) CacheMetrics::get().inserts.inc();

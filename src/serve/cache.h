@@ -19,6 +19,13 @@
 // Observability: every lookup/insert runs under an obs span, and the
 // hit/miss/byte counters stream through obs::counter as
 // "serve.cache.hits" / "serve.cache.misses" / "serve.cache.bytes".
+//
+// Concurrency: thread-safe. One annotated mutex ("serve.cache") guards
+// both tiers - the LRU list/index and the persistent tier's read/write
+// paths (disk I/O happens under the lock: entries are small JSON documents,
+// and an unlocked disk tier would let two threads interleave a read-parse
+// with an overwrite of the same FNV-named file). Lock hierarchy (DESIGN.md
+// §11): serve.cache -> obs.trace / obs.metrics.registry.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +36,7 @@
 
 #include "layout/certify.h"
 #include "layout/types.h"
+#include "util/sync.h"
 
 namespace olsq2::serve {
 
@@ -67,14 +75,24 @@ class ResultCache {
   explicit ResultCache(CacheOptions options = {});
 
   /// Look `key` up in the LRU, then on disk. A hit refreshes LRU recency.
-  std::optional<CacheEntry> lookup(const std::string& key);
+  std::optional<CacheEntry> lookup(const std::string& key)
+      OLSQ2_EXCLUDES(mutex_);
 
   /// Insert/overwrite. Entries with `!entry.result.solved` are rejected
   /// (returns false) - see the header comment.
-  bool insert(const std::string& key, const CacheEntry& entry);
+  bool insert(const std::string& key, const CacheEntry& entry)
+      OLSQ2_EXCLUDES(mutex_);
 
-  const CacheStats& stats() const { return stats_; }
-  std::size_t size() const { return lru_.size(); }
+  /// Consistent snapshot of the counters (by value: the live struct is
+  /// lock-guarded).
+  CacheStats stats() const OLSQ2_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    return stats_;
+  }
+  std::size_t size() const OLSQ2_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    return lru_.size();
+  }
 
   /// Serialize an entry as the on-disk JSON document (exposed for tests).
   static std::string entry_to_json(const std::string& key,
@@ -86,7 +104,10 @@ class ResultCache {
   /// Approximate in-memory footprint of the LRU tier (key + serialized
   /// payload size per entry). Maintained only while the metrics registry is
   /// collecting; feeds the serve_cache_bytes gauge.
-  std::size_t memory_bytes() const { return mem_bytes_; }
+  std::size_t memory_bytes() const OLSQ2_EXCLUDES(mutex_) {
+    sync::MutexLock lock(mutex_);
+    return mem_bytes_;
+  }
 
  private:
   struct Node {
@@ -96,14 +117,16 @@ class ResultCache {
   };
 
   std::string path_for(const std::string& key) const;
-  void touch(const std::string& key, CacheEntry entry);
+  void touch(const std::string& key, CacheEntry entry) OLSQ2_REQUIRES(mutex_);
 
-  CacheOptions options_;
-  CacheStats stats_;
+  CacheOptions options_;  // immutable after construction
+  mutable sync::Mutex mutex_{"serve.cache"};
+  CacheStats stats_ OLSQ2_GUARDED_BY(mutex_);
   /// Most-recent-first node list + index into it.
-  std::list<Node> lru_;
-  std::unordered_map<std::string, std::list<Node>::iterator> index_;
-  std::size_t mem_bytes_ = 0;
+  std::list<Node> lru_ OLSQ2_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Node>::iterator> index_
+      OLSQ2_GUARDED_BY(mutex_);
+  std::size_t mem_bytes_ OLSQ2_GUARDED_BY(mutex_) = 0;
 };
 
 /// FNV-1a 64-bit hash (filenames of the persistent tier).

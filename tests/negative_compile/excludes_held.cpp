@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety:
+// re-enters an OLSQ2_EXCLUDES method while already holding the lock - the
+// self-deadlock the annotation on ResultCache::lookup / Server::serve
+// exists to prevent.
+#include "util/sync.h"
+
+namespace {
+
+class Cache {
+ public:
+  int lookup() OLSQ2_EXCLUDES(mutex_) {
+    olsq2::sync::MutexLock lock(mutex_);
+    return hits_;
+  }
+
+  int lookup_twice() {
+    olsq2::sync::MutexLock lock(mutex_);
+    return lookup();  // expected-error: lookup() excludes mutex_
+  }
+
+ private:
+  olsq2::sync::Mutex mutex_{"negative.cache"};
+  int hits_ OLSQ2_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int negative_compile_entry() {
+  Cache c;
+  return c.lookup_twice();
+}

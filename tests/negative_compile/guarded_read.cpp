@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety:
+// reads an OLSQ2_GUARDED_BY field without holding its mutex.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  int read_unlocked() const {
+    return value_;  // expected-error: reading value_ requires mutex_
+  }
+
+ private:
+  mutable olsq2::sync::Mutex mutex_{"negative.counter"};
+  int value_ OLSQ2_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int negative_compile_entry() {
+  Counter c;
+  return c.read_unlocked();
+}

@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety:
+// writes an OLSQ2_GUARDED_BY field without holding its mutex.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    ++value_;  // expected-error: writing value_ requires mutex_
+  }
+
+ private:
+  olsq2::sync::Mutex mutex_{"negative.counter"};
+  int value_ OLSQ2_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void negative_compile_entry() {
+  Counter c;
+  c.bump_unlocked();
+}

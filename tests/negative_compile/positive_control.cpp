@@ -1,0 +1,56 @@
+// MUST COMPILE everywhere (including -Wthread-safety -Werror=thread-safety
+// under clang): correct lock discipline exercising the same annotations the
+// negative cases violate. If this control breaks, the negative cases'
+// failures are meaningless (the toolchain, not the contract, is at fault);
+// if the macros silently stopped expanding, the negative cases would start
+// "passing" - run_case.cmake demands a thread-safety diagnostic so that
+// regression is caught too.
+#include "util/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void bump() OLSQ2_EXCLUDES(mutex_) {
+    olsq2::sync::MutexLock lock(mutex_);
+    bump_locked();
+  }
+
+  int read() const OLSQ2_EXCLUDES(mutex_) {
+    olsq2::sync::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() OLSQ2_REQUIRES(mutex_) { ++value_; }
+
+  mutable olsq2::sync::Mutex mutex_{"negative.control"};
+  int value_ OLSQ2_GUARDED_BY(mutex_) = 0;
+};
+
+class SharedGuarded {
+ public:
+  int read() const OLSQ2_EXCLUDES(mutex_) {
+    olsq2::sync::ReaderMutexLock lock(mutex_);
+    return value_;
+  }
+
+  void write(int v) OLSQ2_EXCLUDES(mutex_) {
+    olsq2::sync::WriterMutexLock lock(mutex_);
+    value_ = v;
+  }
+
+ private:
+  mutable olsq2::sync::SharedMutex mutex_{"negative.control.shared"};
+  int value_ OLSQ2_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int negative_compile_entry() {
+  Guarded g;
+  g.bump();
+  SharedGuarded s;
+  s.write(7);
+  return g.read() + s.read();
+}

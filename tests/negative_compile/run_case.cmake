@@ -1,0 +1,48 @@
+# Compiles one negative-compile case with -fsyntax-only and asserts the
+# outcome. Driven by ctest (see tests/CMakeLists.txt):
+#
+#   cmake -DCOMPILER=<cxx> -DSOURCE=<case.cpp> -DINCLUDE_DIR=<repo>/src
+#         -DEXPECT=fail|pass [-DTSA=1] -P run_case.cmake
+#
+# TSA=1 adds -Wthread-safety -Werror=thread-safety (clang only; gcc rejects
+# the -Werror= spelling of a warning it does not know). EXPECT=fail demands
+# a non-zero exit *and* a thread-safety diagnostic, so an unrelated compile
+# error cannot impersonate a contract violation.
+
+foreach(var COMPILER SOURCE INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+set(flags -std=c++20 -fsyntax-only -I${INCLUDE_DIR})
+if(TSA)
+  list(APPEND flags -Wthread-safety -Werror=thread-safety)
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} ${flags} ${SOURCE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "pass")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "positive control failed to compile (the annotations or flags are "
+        "broken, so the negative cases prove nothing):\n${err}")
+  endif()
+elseif(EXPECT STREQUAL "fail")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "${SOURCE} compiled cleanly but violates a thread-safety contract; "
+        "the annotations have gone inert")
+  endif()
+  if(NOT err MATCHES "thread-safety|thread safety")
+    message(FATAL_ERROR
+        "${SOURCE} failed for the wrong reason (no thread-safety "
+        "diagnostic):\n${err}")
+  endif()
+else()
+  message(FATAL_ERROR "run_case.cmake: EXPECT must be pass or fail")
+endif()

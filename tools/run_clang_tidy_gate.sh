@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Diff-gated clang-tidy run (CI: the clang-tidy job).
+#
+#   tools/run_clang_tidy_gate.sh <build-dir> [source-dir ...]
+#
+# Runs clang-tidy (via run-clang-tidy against the compile database in
+# <build-dir>) over the given source dirs (default: src), normalizes every
+# finding to `file:check-name`, and compares the set against
+# tools/clang_tidy_baseline.txt. Exit 1 if any finding is not baselined.
+# Line numbers are deliberately dropped from the comparison so unrelated
+# edits shifting code around do not churn the baseline.
+set -euo pipefail
+
+build_dir=${1:?usage: run_clang_tidy_gate.sh <build-dir> [src-dir ...]}
+shift
+dirs=("$@")
+[ ${#dirs[@]} -gt 0 ] || dirs=(src)
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+baseline="$repo_root/tools/clang_tidy_baseline.txt"
+
+runner=$(command -v run-clang-tidy || command -v run-clang-tidy-18 ||
+         command -v run-clang-tidy-17 || command -v run-clang-tidy-16 || true)
+if [ -z "$runner" ]; then
+  echo "run_clang_tidy_gate: run-clang-tidy not found" >&2
+  exit 2
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# run-clang-tidy exits non-zero when any diagnostic fires; the gate decides
+# pass/fail itself, so tolerate that exit code (but not a missing compile
+# database, which produces no output at all).
+"$runner" -quiet -p "$build_dir" \
+  $(for d in "${dirs[@]}"; do printf '%s ' "$repo_root/$d/.*"; done) \
+  >"$raw" 2>&1 || true
+
+# Findings look like:  /abs/path/file.cpp:123:4: warning: ... [check-name]
+# Normalize to repo-relative `file:check-name`, one per line, deduplicated.
+found=$(sed -n 's|^\('"$repo_root"'/\)\?\([^:]*\):[0-9]*:[0-9]*: \(warning\|error\): .*\[\([a-z0-9.,-]*\)\]$|\2:\4|p' \
+          "$raw" | sort -u)
+known=$(grep -v '^#' "$baseline" | sed '/^[[:space:]]*$/d' | sort -u || true)
+
+new=$(comm -23 <(printf '%s\n' "$found" | sed '/^$/d') \
+               <(printf '%s\n' "$known")) || true
+
+if [ -n "$new" ]; then
+  echo "clang-tidy gate: findings not in tools/clang_tidy_baseline.txt:" >&2
+  printf '%s\n' "$new" >&2
+  echo "--- full diagnostics ---" >&2
+  grep -E ':[0-9]+:[0-9]+: (warning|error):' "$raw" >&2 || true
+  echo "Fix the findings (preferred), NOLINT with a reason, or baseline" >&2
+  echo "them with review." >&2
+  exit 1
+fi
+
+echo "clang-tidy gate: clean ($(printf '%s\n' "$found" | sed '/^$/d' | wc -l) baselined findings present)"

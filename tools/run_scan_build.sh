@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# clang static analyzer over the whole tree (CI: the scan-build job).
+#
+#   tools/run_scan_build.sh [build-dir]
+#
+# Configures a fresh build under scan-build's interposed compilers, builds
+# the library targets, normalizes the analyzer findings to
+# `file:description` lines, filters them through
+# tools/scan_build_suppressions.txt (extended regexes, # comments), and
+# exits 1 on any unsuppressed finding. The HTML report directory is left in
+# <build-dir>/scan-report for artifact upload.
+set -euo pipefail
+
+build_dir=${1:-build-scan}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+suppressions="$repo_root/tools/scan_build_suppressions.txt"
+
+scan=$(command -v scan-build || command -v scan-build-18 ||
+       command -v scan-build-17 || command -v scan-build-16 || true)
+if [ -z "$scan" ]; then
+  echo "run_scan_build: scan-build not found" >&2
+  exit 2
+fi
+
+report_dir="$build_dir/scan-report"
+log="$build_dir/scan-build.log"
+mkdir -p "$build_dir"
+
+"$scan" --status-bugs -o "$report_dir" \
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Debug \
+  >/dev/null
+
+# --status-bugs makes scan-build itself exit non-zero when it keeps any
+# bug; capture that and decide after suppression filtering.
+set +e
+"$scan" --status-bugs -o "$report_dir" \
+  cmake --build "$build_dir" -j "$(nproc)" 2>&1 | tee "$log"
+scan_rc=${PIPESTATUS[0]}
+set -e
+
+# Findings in the build log look like:
+#   /abs/path/file.cpp:123:4: warning: Description [checker.package]
+findings=$(sed -n 's|^\('"$repo_root"'/\)\?\([^:]*\):[0-9]*:[0-9]*: warning: \(.*\)$|\2:\3|p' \
+             "$log" | sort -u)
+
+patterns=$(grep -v '^#' "$suppressions" | sed '/^[[:space:]]*$/d' || true)
+if [ -n "$patterns" ]; then
+  unsuppressed=$(printf '%s\n' "$findings" | sed '/^$/d' |
+                 grep -Evf <(printf '%s\n' "$patterns") || true)
+else
+  unsuppressed=$(printf '%s\n' "$findings" | sed '/^$/d')
+fi
+
+if [ -n "$unsuppressed" ]; then
+  echo "scan-build: unsuppressed analyzer findings:" >&2
+  printf '%s\n' "$unsuppressed" >&2
+  echo "Fix them, or add a reviewed regex + reason to" >&2
+  echo "tools/scan_build_suppressions.txt." >&2
+  exit 1
+fi
+
+if [ "$scan_rc" -ne 0 ] && [ -z "$findings" ]; then
+  # scan-build flagged bugs but none surfaced in the log (e.g. report-only
+  # findings); point at the HTML report rather than passing vacuously.
+  echo "scan-build: exit $scan_rc with bugs kept; see $report_dir" >&2
+  exit 1
+fi
+
+echo "scan-build: clean"
