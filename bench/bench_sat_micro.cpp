@@ -1,11 +1,27 @@
-// Google-benchmark microbenchmarks for the substrate: CDCL solver on
-// classic instance families and CNF sizes of the cardinality encodings.
-// These do not map to a paper table; they characterize the engine all the
-// table-level benches run on.
+// Microbenchmarks for the CDCL substrate: classic instance families and
+// CNF sizes of the cardinality encodings. These do not map to a paper
+// table; they characterize the engine all the table-level benches run on.
+//
+// Two modes:
+//   (default)      google-benchmark microbenchmarks (wide sweep, human use)
+//   --out=FILE     fixed workload suite emitting benchdiff-compatible JSON
+//                  (BENCH_sat_micro.json) - the CI regression gate for SAT
+//                  core speed. Per case: median wall ms over --runs runs,
+//                  propagation throughput, and the verdict (a config key:
+//                  a SAT/UNSAT flip makes the diff refuse the comparison).
+//
+// Usage (JSON mode): bench_sat_micro --out=FILE [--runs=N]
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
 #include <random>
+#include <string>
+#include <vector>
 
+#include "bench/common.h"
 #include "encode/cardinality.h"
 #include "encode/cnf.h"
 #include "encode/totalizer.h"
@@ -37,6 +53,19 @@ void add_pigeonhole(Solver& s, int pigeons, int holes) {
   }
 }
 
+void add_random_3sat(Solver& s, int n, double ratio, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  const int m = static_cast<int>(n * ratio);
+  for (int i = 0; i < n; ++i) s.new_var();
+  for (int c = 0; c < m; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.emplace_back(static_cast<Var>(rng() % n), (rng() & 1) != 0);
+    }
+    s.add_clause(clause);
+  }
+}
+
 void BM_PigeonholeUnsat(benchmark::State& state) {
   const int holes = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -49,18 +78,9 @@ BENCHMARK(BM_PigeonholeUnsat)->Arg(5)->Arg(6)->Arg(7)->Arg(8);
 
 void BM_Random3SatNearThreshold(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  const int m = static_cast<int>(n * 4.2);
   for (auto _ : state) {
-    std::mt19937 rng(7);
     Solver s;
-    for (int i = 0; i < n; ++i) s.new_var();
-    for (int c = 0; c < m; ++c) {
-      std::vector<Lit> clause;
-      for (int k = 0; k < 3; ++k) {
-        clause.emplace_back(static_cast<Var>(rng() % n), (rng() & 1) != 0);
-      }
-      s.add_clause(clause);
-    }
+    add_random_3sat(s, n, 4.2, 7);
     benchmark::DoNotOptimize(s.solve());
   }
 }
@@ -126,6 +146,170 @@ void BM_IncrementalTotalizerDescent(benchmark::State& state) {
 }
 BENCHMARK(BM_IncrementalTotalizerDescent)->Arg(24)->Arg(48);
 
+// ---------------------------------------------------------------------------
+// JSON mode: the fixed workload suite behind bench/baselines/
+// BENCH_sat_micro.json. Cases stress the solver paths the overhaul targets:
+// conflict-heavy UNSAT proofs (pigeonhole), near-threshold random 3-SAT
+// (mixed search), and the incremental bound-descent pattern every optimizer
+// loop runs.
+
+struct MicroResult {
+  std::string name;
+  std::string verdict;  // "sat" / "unsat" / "unknown" - config key in diffs
+  std::vector<double> runs_ms;
+  double median_ms = 0;
+  double props_per_sec = 0;  // from the median run
+  std::uint64_t conflicts = 0;
+};
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+template <typename SetupFn>
+MicroResult run_case(const std::string& name, int runs, SetupFn&& setup) {
+  MicroResult r;
+  r.name = name;
+  std::vector<double> props_rates;
+  for (int i = 0; i < runs; ++i) {
+    Solver s;
+    setup(s);
+    const double t0 = bench::now_ms();
+    const sat::LBool verdict = s.solve();
+    const double ms = bench::now_ms() - t0;
+    r.runs_ms.push_back(ms);
+    props_rates.push_back(ms > 0 ? static_cast<double>(s.stats().propagations) /
+                                       (ms / 1000.0)
+                                 : 0);
+    r.verdict = verdict == sat::LBool::kTrue    ? "sat"
+                : verdict == sat::LBool::kFalse ? "unsat"
+                                                : "unknown";
+    r.conflicts = s.stats().conflicts;
+  }
+  r.median_ms = median_of(r.runs_ms);
+  r.props_per_sec = median_of(std::move(props_rates));
+  return r;
+}
+
+MicroResult run_descent_case(const std::string& name, int runs, int n) {
+  MicroResult r;
+  r.name = name;
+  std::vector<double> props_rates;
+  for (int i = 0; i < runs; ++i) {
+    Solver s;
+    encode::CnfBuilder b(s);
+    std::vector<Lit> xs;
+    for (int j = 0; j < n; ++j) xs.push_back(b.new_lit());
+    encode::at_least_k_seqcounter(b, xs, n / 4);
+    encode::Totalizer tot(b, xs);
+    const double t0 = bench::now_ms();
+    int k = n;
+    while (k >= 0) {
+      const std::vector<Lit> assume = {tot.bound_leq(b, k)};
+      if (s.solve(assume) != sat::LBool::kTrue) break;
+      k--;
+    }
+    const double ms = bench::now_ms() - t0;
+    r.runs_ms.push_back(ms);
+    props_rates.push_back(ms > 0 ? static_cast<double>(s.stats().propagations) /
+                                       (ms / 1000.0)
+                                 : 0);
+    r.verdict = "k" + std::to_string(k);  // the optimum found: must not move
+    r.conflicts = s.stats().conflicts;
+  }
+  r.median_ms = median_of(r.runs_ms);
+  r.props_per_sec = median_of(std::move(props_rates));
+  return r;
+}
+
+int run_json_mode(const std::string& out_path, int runs) {
+  std::vector<MicroResult> results;
+  results.push_back(run_case("pigeonhole8", runs, [](Solver& s) {
+    add_pigeonhole(s, 9, 8);
+  }));
+  results.push_back(run_case("pigeonhole9", runs, [](Solver& s) {
+    add_pigeonhole(s, 10, 9);
+  }));
+  results.push_back(run_case("random3sat_n200_r4.2_s7", runs, [](Solver& s) {
+    add_random_3sat(s, 200, 4.2, 7);
+  }));
+  results.push_back(run_case("random3sat_n250_r4.3_s11", runs, [](Solver& s) {
+    add_random_3sat(s, 250, 4.3, 11);
+  }));
+  results.push_back(run_case("random3sat_n300_r4.1_s3", runs, [](Solver& s) {
+    add_random_3sat(s, 300, 4.1, 3);
+  }));
+  results.push_back(run_descent_case("totalizer_descent_n48", runs, 48));
+  results.push_back(run_descent_case("totalizer_descent_n64", runs, 64));
+
+  double log_sum_ms = 0;
+  double log_sum_props = 0;
+  for (const MicroResult& r : results) {
+    log_sum_ms += std::log(std::max(r.median_ms, 1e-3));
+    log_sum_props += std::log(std::max(r.props_per_sec, 1.0));
+  }
+  const double geomean_ms =
+      std::exp(log_sum_ms / static_cast<double>(results.size()));
+  const double geomean_props =
+      std::exp(log_sum_props / static_cast<double>(results.size()));
+
+  std::ofstream out(out_path);
+  out << "{" << bench::json_stamp("sat_micro") << "\"runs\":" << runs
+      << ",\"benchmarks\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MicroResult& r = results[i];
+    if (i) out << ",";
+    out << "{\"name\":\"" << r.name << "\",\"verdict\":\"" << r.verdict
+        << "\",\"median_ms\":" << r.median_ms << ",\"runs_ms\":[";
+    for (std::size_t j = 0; j < r.runs_ms.size(); ++j) {
+      if (j) out << ",";
+      out << r.runs_ms[j];
+    }
+    out << "],\"props_per_sec\":" << r.props_per_sec
+        << ",\"conflicts\":" << r.conflicts << "}";
+  }
+  out << "],\"geomean_ms\":" << geomean_ms
+      << ",\"geomean_props_per_sec\":" << geomean_props << "}\n";
+
+  bench::Table table({"case", "verdict", "median", "Mprops/s"});
+  for (const MicroResult& r : results) {
+    std::ostringstream rate;
+    rate << std::fixed << std::setprecision(1) << r.props_per_sec / 1e6;
+    table.print_row(
+        {r.name, r.verdict, bench::fmt_ms(r.median_ms, false), rate.str()});
+  }
+  std::cout << "geomean solve: " << bench::fmt_ms(geomean_ms, false)
+            << "   geomean throughput: " << geomean_props / 1e6
+            << " Mprops/s\n"
+            << "wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string out_path;
+  int runs = 3;
+  std::vector<char*> bench_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      runs = std::max(1, std::atoi(arg.c_str() + 7));
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  if (!out_path.empty()) return run_json_mode(out_path, runs);
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

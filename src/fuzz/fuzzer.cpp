@@ -49,11 +49,15 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     OracleReport result;
     std::optional<Instance> instance;
 
-    // Every 4th iteration exercises the raw SAT core (CDCL vs DPLL + DRAT);
-    // the rest fuzz full layout instances through the oracle chain.
-    if (i % 4 == 3) {
+    // Every 8th iteration exercises the raw SAT core (CDCL vs DPLL + DRAT),
+    // every 8th the inprocessing on/off differential; the rest fuzz full
+    // layout instances through the oracle chain.
+    if (i % 8 == 3) {
       report.sat_core_checks++;
       result = check_sat_core(instance_seed);
+    } else if (i % 8 == 7) {
+      report.inprocess_checks++;
+      result = check_inprocess(instance_seed);
     } else {
       report.instance_checks++;
       instance = random_instance(instance_seed, options.gen);
@@ -100,8 +104,9 @@ std::string format_report(const FuzzReport& report) {
   std::ostringstream out;
   out << "fuzz: " << report.iterations << " iterations ("
       << report.instance_checks << " instance, " << report.sat_core_checks
-      << " sat-core) in " << report.elapsed_seconds << "s, "
-      << report.failures.size() << " failure(s)\n";
+      << " sat-core, " << report.inprocess_checks << " inprocess) in "
+      << report.elapsed_seconds << "s, " << report.failures.size()
+      << " failure(s)\n";
   for (const FuzzFailure& f : report.failures) {
     out << "FAILURE oracle=" << f.oracle << " replay: olsq2_fuzz --seed "
         << f.base_seed << " --iterations " << (f.iteration + 1) << "\n";

@@ -51,6 +51,7 @@ struct FuzzReport {
   int iterations = 0;
   int instance_checks = 0;
   int sat_core_checks = 0;
+  int inprocess_checks = 0;
   double elapsed_seconds = 0.0;
   std::vector<FuzzFailure> failures;
 

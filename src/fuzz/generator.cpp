@@ -94,7 +94,9 @@ sat::DimacsProblem random_cnf(std::uint64_t seed,
   const int num_clauses = std::max(
       1, static_cast<int>(options.clause_ratio * problem.num_vars + 0.5));
   for (int i = 0; i < num_clauses; ++i) {
-    const int len = 1 + rng.below_int(options.max_clause_len);
+    const int len =
+        options.min_clause_len +
+        rng.below_int(options.max_clause_len - options.min_clause_len + 1);
     sat::Clause clause;
     for (int k = 0; k < len; ++k) {
       const sat::Var v = rng.below_int(problem.num_vars);

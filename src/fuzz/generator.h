@@ -67,6 +67,12 @@ struct RandomCnfOptions {
   /// Clause/variable ratio; ~4.3 sits at the 3-SAT phase transition, giving
   /// a healthy SAT/UNSAT mix.
   double clause_ratio = 4.3;
+  /// Lengths are uniform in [min_clause_len, max_clause_len]. The default
+  /// includes units: with clause_ratio 4.3 that skews hard toward root-level
+  /// UNSAT, which is what the CDCL-vs-DPLL oracle wants (cheap, proof-heavy).
+  /// Oracles that need real search (e.g. the inprocessing differential) should
+  /// raise min_clause_len so formulas are not decided by unit propagation.
+  int min_clause_len = 1;
   int max_clause_len = 3;
 };
 

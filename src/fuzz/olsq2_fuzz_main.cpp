@@ -12,6 +12,10 @@
 //     --inject-bug      self-test: enable the deliberate encoding bug
 //                       (OLSQ2_FUZZ_INJECT_ENCODING_BUG) and require the
 //                       fuzzer to catch it and reduce it to <= 5 gates
+//     --inject-sat-bug  self-test: enable the deliberate vivification bug
+//                       (OLSQ2_FUZZ_INJECT_VIVIFY_BUG, an unjustified
+//                       literal drop) and require the inprocessing on/off
+//                       differential oracle to catch it
 //
 // Both `--flag value` and `--flag=value` spellings are accepted. At least
 // one of --seconds/--iterations must be given (except with --inject-bug,
@@ -33,7 +37,7 @@ using namespace olsq2;
   std::cerr << "olsq2_fuzz: " << message << "\n"
             << "usage: olsq2_fuzz [--seed N] [--seconds S] [--iterations K]\n"
             << "                  [--out DIR] [--no-reduce] [--stop-on-failure]\n"
-            << "                  [--verbose] [--inject-bug]\n";
+            << "                  [--verbose] [--inject-bug] [--inject-sat-bug]\n";
   std::exit(2);
 }
 
@@ -89,12 +93,49 @@ int run_inject_bug_selftest(fuzz::FuzzOptions options) {
   return 0;
 }
 
+int run_inject_sat_bug_selftest(const fuzz::FuzzOptions& options) {
+  // The vivification fault drops one literal per inprocessing round without
+  // justification. A strengthened formula stays satisfiable for many seeds,
+  // so sweep the seed stream until a differential flip or a DRAT rejection
+  // catches it; phase-transition CNF is ~half UNSAT, where the unjustified
+  // proof step is detected directly.
+  setenv("OLSQ2_FUZZ_INJECT_VIVIFY_BUG", "1", /*overwrite=*/1);
+  const int iterations = options.iterations > 0 ? options.iterations : 200;
+  int caught_at = -1;
+  std::vector<std::string> errors;
+  for (int i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = fuzz::derive_seed(options.seed, i);
+    const fuzz::OracleReport result = fuzz::check_inprocess(seed);
+    if (options.verbose) {
+      std::cerr << "[fuzz] iter=" << i << " seed=" << seed
+                << " oracle=inprocess ok=" << (result.ok ? 1 : 0) << "\n";
+    }
+    if (!result.ok) {
+      caught_at = i;
+      errors = result.errors;
+      break;
+    }
+  }
+  unsetenv("OLSQ2_FUZZ_INJECT_VIVIFY_BUG");
+
+  if (caught_at < 0) {
+    std::cerr << "olsq2_fuzz: injected vivification bug was NOT caught in "
+              << iterations << " iterations\n";
+    return 1;
+  }
+  std::cout << "inject-sat-bug self-test passed: caught at iteration "
+            << caught_at << "\n";
+  for (const std::string& e : errors) std::cout << "  " << e << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   fuzz::FuzzOptions options;
   bool inject_bug = false;
+  bool inject_sat_bug = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string value;
@@ -114,12 +155,15 @@ int main(int argc, char** argv) {
       options.verbose = true;
     } else if (args[i] == "--inject-bug") {
       inject_bug = true;
+    } else if (args[i] == "--inject-sat-bug") {
+      inject_sat_bug = true;
     } else {
       usage_error("unknown argument: " + args[i]);
     }
   }
 
   if (inject_bug) return run_inject_bug_selftest(options);
+  if (inject_sat_bug) return run_inject_sat_bug_selftest(options);
 
   if (options.seconds <= 0.0 && options.iterations <= 0) {
     usage_error("need --seconds or --iterations");

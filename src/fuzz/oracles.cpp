@@ -303,6 +303,86 @@ OracleReport check_sat_core(std::uint64_t seed) {
   return report;
 }
 
+OracleReport check_inprocess(std::uint64_t seed) {
+  OracleReport report;
+  report.oracle = "inprocess";
+  // Larger formulas than check_sat_core: the reference here is another CDCL
+  // solver (not exponential DPLL), and the passes need clauses to chew on.
+  // No unit clauses: with them, clause_ratio 4.3 makes nearly every formula
+  // UNSAT at the root before inprocessing ever runs, and the oracle (and the
+  // injected-bug self-test) would exercise nothing. Lengths 2-4 around the
+  // phase-transition ratio give a SAT/UNSAT mix with real search and plenty
+  // of size->=3 vivification targets.
+  RandomCnfOptions options;
+  options.min_vars = 10;
+  options.max_vars = 40;
+  options.min_clause_len = 2;
+  options.max_clause_len = 4;
+  const sat::DimacsProblem cnf = random_cnf(seed ^ 0x1297c0deULL, options);
+
+  sat::Solver plain;
+  plain.set_inprocessing(false);
+  for (int v = 0; v < cnf.num_vars; ++v) plain.new_var();
+  for (const sat::Clause& clause : cnf.clauses) plain.add_clause(clause);
+  const sat::LBool verdict_plain = plain.solve();
+
+  sat::Proof proof;
+  sat::Solver inproc;
+  inproc.set_proof(&proof);
+  inproc.set_inprocessing(true);
+  inproc.set_inprocess_schedule(/*first_conflicts=*/0, /*interval=*/16);
+  for (int v = 0; v < cnf.num_vars; ++v) inproc.new_var();
+  for (const sat::Clause& clause : cnf.clauses) inproc.add_clause(clause);
+  // Force at least one round even when the instance solves without
+  // conflicts - the injected-bug self-test relies on the passes running.
+  inproc.inprocess();
+  const sat::LBool verdict_inproc = inproc.solve();
+
+  const auto verdict_name = [](sat::LBool v) {
+    return v == sat::LBool::kTrue    ? "SAT"
+           : v == sat::LBool::kFalse ? "UNSAT"
+                                     : "UNDEF";
+  };
+  if (verdict_plain == sat::LBool::kUndef ||
+      verdict_inproc == sat::LBool::kUndef) {
+    report.fail("inprocess seed=" + std::to_string(seed) +
+                ": kUndef with no budget set");
+    return report;
+  }
+  if (verdict_plain != verdict_inproc) {
+    report.fail("inprocess seed=" + std::to_string(seed) +
+                ": inprocessing flipped the verdict (off=" +
+                verdict_name(verdict_plain) +
+                " on=" + verdict_name(verdict_inproc) + ")");
+    return report;
+  }
+  if (verdict_inproc == sat::LBool::kTrue) {
+    for (const sat::Solver* solver : {&plain, &inproc}) {
+      std::vector<bool> model(cnf.num_vars, false);
+      for (int v = 0; v < cnf.num_vars; ++v) {
+        model[v] =
+            solver->model_value(static_cast<sat::Var>(v)) == sat::LBool::kTrue;
+      }
+      if (!model_satisfies(cnf.clauses, model)) {
+        report.fail("inprocess seed=" + std::to_string(seed) + ": " +
+                    (solver == &plain ? "plain" : "inprocessing") +
+                    " model does not satisfy the original formula");
+      }
+    }
+  } else {
+    // The proof must cover every inprocessing rewrite (adds before deletes,
+    // all RUP) down to the empty clause.
+    const sat::DratCheckResult drat = sat::check_drat(cnf.clauses, proof);
+    if (!drat.all_steps_valid || !drat.proves_unsat) {
+      report.fail("inprocess seed=" + std::to_string(seed) +
+                  ": UNSAT answer with inprocessing lacks a valid DRAT "
+                  "proof (first invalid step " +
+                  std::to_string(drat.first_invalid_step) + ")");
+    }
+  }
+  return report;
+}
+
 OracleReport check_cache(const Instance& instance, std::uint64_t seed) {
   OracleReport report;
   report.oracle = "cache";

@@ -41,6 +41,14 @@ OracleReport check_engine_differential(const Instance& instance);
 /// `seed` drives the random permutations inside the transforms.
 OracleReport check_metamorphic(const Instance& instance, std::uint64_t seed);
 OracleReport check_sat_core(std::uint64_t seed);
+/// Inprocessing on/off differential on random CNF: two CDCL solvers over
+/// the same formula, one with inprocessing disabled and one with rounds
+/// forced onto a short schedule, must agree on the verdict; SAT models must
+/// evaluate true on the original clauses, and the inprocessing solver's
+/// UNSAT answers must carry a DRAT proof that checks (covering every
+/// vivification/subsumption/substitution rewrite). This is the oracle that
+/// catches OLSQ2_FUZZ_INJECT_VIVIFY_BUG (see --inject-sat-bug).
+OracleReport check_inprocess(std::uint64_t seed);
 /// Serve-layer cache equivalence: for relabeled/reordered variants of the
 /// instance, (1) canonical cache keys collide (when both canonical
 /// searches are exact), (2) the un-relabeled cached result passes

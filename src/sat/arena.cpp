@@ -1,0 +1,28 @@
+#include "sat/arena.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace olsq2::sat {
+
+void ClauseArena::grow(std::uint32_t min_cap) {
+  // Amortized doubling from a 64 KiB floor. CRefs are word offsets, so the
+  // arena tops out at 16 GiB of clauses; a solver anywhere near that is
+  // lost regardless, but fail loudly rather than wrap the offsets.
+  std::uint64_t next = std::max<std::uint64_t>(cap_, 1u << 14);
+  while (next < min_cap) next *= 2;
+  if (next > kCRefUndef) {
+    if (min_cap > kCRefUndef) {
+      throw std::length_error("ClauseArena: clause storage exceeds 2^32 words");
+    }
+    next = kCRefUndef;
+  }
+  auto fresh = std::make_unique<std::uint32_t[]>(next);
+  if (top_ > 0) {
+    std::memcpy(fresh.get(), mem_.get(), top_ * sizeof(std::uint32_t));
+  }
+  mem_ = std::move(fresh);
+  cap_ = static_cast<std::uint32_t>(next);
+}
+
+}  // namespace olsq2::sat

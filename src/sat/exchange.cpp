@@ -107,6 +107,43 @@ bool ClauseExchange::publish(int solver_id, std::span<const Lit> lits,
   return true;
 }
 
+std::size_t ClauseExchange::publish_batch(int solver_id,
+                                          std::span<const ExportItem> items) {
+  if (items.empty()) return 0;
+  sync::MutexLock lock(mutex_);
+  assert(solver_id >= 0 && solver_id < static_cast<int>(solvers_.size()));
+  const int group = solvers_[solver_id].group;
+  std::size_t accepted = 0;
+  for (const ExportItem& item : items) {
+    if (item.lits.empty()) continue;
+    const bool always = item.lits.size() <= 2;  // units and binaries
+    if (!always && (item.lits.size() > options_.max_size ||
+                    item.lbd > options_.max_lbd)) {
+      filtered_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metrics::enabled()) metrics_for(group).filtered->inc();
+      continue;
+    }
+    SharedClause sc;
+    sc.lits.assign(item.lits.begin(), item.lits.end());
+    sc.lbd = item.lbd;
+    sc.source = solver_id;
+    sc.group = group;
+    buffer_.push_back(std::move(sc));
+    next_seq_.fetch_add(1, std::memory_order_release);
+    accepted++;
+  }
+  while (buffer_.size() > options_.capacity) {
+    buffer_.pop_front();
+    base_seq_++;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  published_.fetch_add(accepted, std::memory_order_relaxed);
+  if (accepted > 0 && obs::metrics::enabled()) {
+    metrics_for(group).published->inc(accepted);
+  }
+  return accepted;
+}
+
 bool ClauseExchange::has_new(int solver_id) const {
   sync::MutexLock lock(mutex_);
   if (solver_id < 0 || solver_id >= static_cast<int>(solvers_.size())) {

@@ -90,6 +90,20 @@ class ClauseExchange {
   /// Returns true when the clause was accepted (exported).
   bool publish(int solver_id, std::span<const Lit> lits, unsigned lbd);
 
+  /// One entry of a batched publish; the span must stay valid for the
+  /// duration of the publish_batch() call (solvers point it straight into
+  /// their clause arena and flush before any deletion/compaction).
+  struct ExportItem {
+    std::span<const Lit> lits;
+    unsigned lbd = 0;
+  };
+
+  /// publish() for a whole batch under a single hub-lock acquisition.
+  /// Solvers accumulate learnts between bookkeeping boundaries and flush
+  /// them here, so the hot conflict loop never touches the hub mutex.
+  /// Applies the same filter as publish(); returns the number accepted.
+  std::size_t publish_batch(int solver_id, std::span<const ExportItem> items);
+
   /// Deliver every clause published by *other* same-group solvers since
   /// this solver's last collect; advances the solver's cursor. Returns the
   /// number of clauses delivered. The pending clauses are copied out under

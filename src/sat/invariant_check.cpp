@@ -10,7 +10,9 @@
 //     W3  a watcher's blocker is a literal of its clause;
 //     W4  at a propagation fixpoint, a false watched literal implies the
 //         clause is satisfied by a literal assigned at an earlier-or-equal
-//         level (the two-watched-literal scheme's soundness condition).
+//         level (the two-watched-literal scheme's soundness condition);
+//     W5  binary clauses are watched from the dedicated binary lists,
+//         longer clauses from the standard lists.
 //   Trail / levels
 //     T1  qhead_ <= trail size; level marks are monotone and in range;
 //     T2  every trail literal is true, assigned at the level of its trail
@@ -21,6 +23,12 @@
 //         literal is true;
 //     R2  all other literals of a reason are false at levels <= the implied
 //         literal's level (the implication was and stays valid).
+//   Tiers / arena
+//     D1  each clause ref appears in exactly one list; originals are
+//         non-learnt, learnts carry the learnt flag and a tier field that
+//         matches their containing tier list;
+//     D2  no live ref is freed or forwarded, and the arena's accounting
+//         balances: live words + wasted words == bump pointer.
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
@@ -28,7 +36,6 @@
 #include <unordered_set>
 
 #include "analysis/concurrency/lock_order.h"
-#include "sat/clause_data.h"
 #include "sat/solver.h"
 
 namespace olsq2::sat {
@@ -51,42 +58,104 @@ bool Solver::check_invariants(std::vector<std::string>* errors) const {
     }
   };
 
-  // Live clause set: everything currently attached.
-  std::unordered_set<const ClauseData*> live;
-  live.reserve(clauses_.size() + learnts_.size());
-  for (const auto& c : clauses_) live.insert(c.get());
-  for (const auto& c : learnts_) live.insert(c.get());
+  // Live clause set (everything attached) and the D1/D2 list checks.
+  std::unordered_set<CRef> live;
+  live.reserve(clauses_.size() + static_cast<std::size_t>(num_learnts()));
+  std::uint64_t live_words = 0;
+  struct ListSpec {
+    const std::vector<CRef>* list;
+    const char* name;
+    bool learnt;
+    Tier tier;
+  };
+  const ListSpec lists[] = {
+      {&clauses_, "originals", false, Tier::kCore},
+      {&learnts_core_, "core", true, Tier::kCore},
+      {&learnts_tier2_, "tier2", true, Tier::kTier2},
+      {&learnts_local_, "local", true, Tier::kLocal},
+  };
+  for (const ListSpec& spec : lists) {
+    for (const CRef cr : *spec.list) {
+      if (cr >= arena_.size_words()) {
+        fail(std::string("D2: ref in ") + spec.name + " list out of arena");
+        continue;
+      }
+      const ClauseData& c = arena_[cr];
+      if (c.freed() || c.reloced()) {
+        fail(std::string("D2: ") + spec.name +
+             " list holds a freed/forwarded clause ref");
+        continue;
+      }
+      if (!live.insert(cr).second) {
+        fail("D1: clause ref " + std::to_string(cr) +
+             " appears in more than one list");
+        continue;
+      }
+      live_words += ClauseArena::clause_words(c.size());
+      if (c.learnt() != spec.learnt) {
+        fail(std::string("D1: ") + spec.name + " list holds a clause with " +
+             (c.learnt() ? "the" : "no") + " learnt flag");
+      }
+      if (spec.learnt && c.tier() != spec.tier) {
+        fail(std::string("D1: clause in ") + spec.name +
+             " list has mismatched header tier " +
+             std::to_string(static_cast<int>(c.tier())));
+      }
+    }
+  }
+  if (live_words + arena_.wasted_words() != arena_.size_words()) {
+    fail("D2: arena accounting off: live " + std::to_string(live_words) +
+         " + wasted " + std::to_string(arena_.wasted_words()) +
+         " != top " + std::to_string(arena_.size_words()));
+  }
+  if (arena_.live_clauses() != live.size()) {
+    fail("D2: arena live-clause count " +
+         std::to_string(arena_.live_clauses()) + " != listed clauses " +
+         std::to_string(live.size()));
+  }
 
   // One pass over the watch lists: W1/W3 per watcher, and an index of
   // which literal lists each clause is watched from (for W2).
-  std::unordered_map<const ClauseData*, std::vector<std::int32_t>> watched_at;
+  std::unordered_map<CRef, std::vector<std::int32_t>> watched_at;
   watched_at.reserve(live.size());
-  for (std::int32_t code = 0; code < 2 * num_vars(); ++code) {
-    for (const Watcher& w :
-         watches_[static_cast<std::size_t>(code)]) {
-      if (live.count(w.clause) == 0) {
-        fail("W1: stale watcher on literal list " + std::to_string(code) +
-             " references a removed clause");
-        continue;
-      }
-      watched_at[w.clause].push_back(code);
-      const auto& lits = w.clause->lits;
-      if (std::find(lits.begin(), lits.end(), w.blocker) == lits.end()) {
-        fail("W3: blocker " + lit_to_string(w.blocker) +
-             " is not a literal of its watched clause");
+  for (const bool binary_lists : {false, true}) {
+    const auto& lists = binary_lists ? watches_bin_ : watches_;
+    for (std::int32_t code = 0; code < 2 * num_vars(); ++code) {
+      for (const Watcher& w : lists[static_cast<std::size_t>(code)]) {
+        if (live.count(w.cref) == 0) {
+          fail("W1: stale watcher on literal list " + std::to_string(code) +
+               " references a removed clause");
+          continue;
+        }
+        watched_at[w.cref].push_back(code);
+        const ClauseData& c = arena_[w.cref];
+        // Binary clauses are watched exclusively from the binary lists
+        // (propagation decides on the watcher alone), longer ones from the
+        // standard lists.
+        if ((c.size() == 2) != binary_lists) {
+          fail("W5: clause of size " + std::to_string(c.size()) +
+               " watched from the " +
+               (binary_lists ? "binary" : "standard") + " lists");
+        }
+        const auto lits = c.literals();
+        if (std::find(lits.begin(), lits.end(), w.blocker) == lits.end()) {
+          fail("W3: blocker " + lit_to_string(w.blocker) +
+               " is not a literal of its watched clause");
+        }
       }
     }
   }
 
   const bool at_fixpoint = qhead_ == trail_.size() && ok_;
-  for (const ClauseData* c : live) {
-    const auto& lits = c->lits;
+  for (const CRef cr : live) {
+    const ClauseData& c = arena_[cr];
+    const auto lits = c.literals();
     if (lits.size() < 2) {
       fail("W2: stored clause of size " + std::to_string(lits.size()) +
            " (units must live on the trail, empties flip ok_)");
       continue;
     }
-    const auto it = watched_at.find(c);
+    const auto it = watched_at.find(cr);
     const std::size_t watcher_count =
         it == watched_at.end() ? 0 : it->second.size();
     if (watcher_count != 2) {
@@ -176,13 +245,14 @@ bool Solver::check_invariants(std::vector<std::string>* errors) const {
   // Reason-clause sanity.
   for (const Lit l : trail_) {
     const Var v = l.var();
-    const ClauseData* reason = reasons_[static_cast<std::size_t>(v)];
-    if (reason == nullptr) continue;
-    if (live.count(reason) == 0) {
+    const CRef reason_ref = reasons_[static_cast<std::size_t>(v)];
+    if (reason_ref == kCRefUndef) continue;
+    if (live.count(reason_ref) == 0) {
       fail("R1: reason for x" + std::to_string(v) + " is a removed clause");
       continue;
     }
-    const auto& lits = reason->lits;
+    const ClauseData& reason = arena_[reason_ref];
+    const auto lits = reason.literals();
     if (lits.empty() || lits[0].var() != v) {
       fail("R1: reason for x" + std::to_string(v) +
            " does not have the implied literal first");

@@ -2,46 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+
+#include "sat/simplify_util.h"
 
 namespace olsq2::sat {
 
-namespace {
-
-// Normalize: sort and deduplicate; returns false for tautologies.
-bool normalize(Clause& c) {
-  std::sort(c.begin(), c.end());
-  c.erase(std::unique(c.begin(), c.end()), c.end());
-  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
-    if (c[i] == ~c[i + 1]) return false;
-  }
-  return true;
-}
-
-// Is a (sorted) a subset of b (sorted)?
-bool subset(const Clause& a, const Clause& b) {
-  if (a.size() > b.size()) return false;
-  std::size_t j = 0;
-  for (const Lit l : a) {
-    while (j < b.size() && b[j] < l) j++;
-    if (j >= b.size() || !(b[j] == l)) return false;
-    j++;
-  }
-  return true;
-}
-
-// Is a\{skip_a} a subset of b\{skip_b}?
-bool subset_except(const Clause& a, Lit skip_a, const Clause& b, Lit skip_b) {
-  std::size_t j = 0;
-  for (const Lit l : a) {
-    if (l == skip_a) continue;
-    while (j < b.size() && (b[j] < l || b[j] == skip_b)) j++;
-    if (j >= b.size() || !(b[j] == l)) return false;
-    j++;
-  }
-  return true;
-}
-
-}  // namespace
+using simplify::normalize;
+using simplify::subset;
+using simplify::subset_except;
 
 bool Preprocessor::run(int num_vars, std::vector<Clause> input,
                        const PreprocessOptions& options) {
@@ -122,6 +91,12 @@ bool Preprocessor::run(int num_vars, std::vector<Clause> input,
 
   const auto subsumption_pass = [&](bool& changed) {
     build_occ();
+    // Signature prefilter (simplify_util.h): one AND refutes most
+    // non-subsumptions before the sorted subset walk.
+    std::vector<std::uint64_t> sig(clauses.size(), 0);
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      if (alive[i]) sig[i] = simplify::clause_signature(clauses[i]);
+    }
     for (std::size_t i = 0; i < clauses.size(); ++i) {
       if (!alive[i]) continue;
       const Clause& c = clauses[i];
@@ -137,6 +112,7 @@ bool Preprocessor::run(int num_vars, std::vector<Clause> input,
       if (pivot == nullptr) continue;
       for (const int j : occ[pivot->code()]) {
         if (static_cast<std::size_t>(j) == i || !alive[j]) continue;
+        if (!simplify::signature_subset(sig[i], sig[j])) continue;
         if (clauses[j].size() >= c.size() && subset(c, clauses[j])) {
           alive[j] = false;
           stats_.subsumed_clauses++;

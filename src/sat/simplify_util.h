@@ -1,0 +1,70 @@
+// Shared helpers for clause simplification (preprocess.cpp, inprocess.cpp).
+//
+// Subsumption is quadratic in the worst case; the standard defenses shared
+// by both the offline preprocessor and the inprocessing pipeline live here:
+// canonical normalization, sorted subset tests, and 64-bit clause
+// signatures (a Bloom-style bitset over variable indices) that refute most
+// non-subsumptions with one AND.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "sat/types.h"
+
+namespace olsq2::sat::simplify {
+
+/// Sort + dedup in place; returns false when the clause is a tautology
+/// (contains l and ~l) and should be dropped.
+inline bool normalize(Clause& c) {
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (c[i] == ~c[i - 1]) return false;
+  }
+  return true;
+}
+
+/// Subset test over normalized (sorted, deduped) clauses.
+inline bool subset(const Clause& a, const Clause& b) {
+  if (a.size() > b.size()) return false;
+  std::size_t j = 0;
+  for (const Lit l : a) {
+    while (j < b.size() && b[j] < l) j++;
+    if (j == b.size() || !(b[j] == l)) return false;
+    j++;
+  }
+  return true;
+}
+
+/// Subset test ignoring one literal on each side: a \ {skip_a} vs
+/// b \ {skip_b}. Both clauses normalized.
+inline bool subset_except(const Clause& a, Lit skip_a, const Clause& b,
+                          Lit skip_b) {
+  std::size_t j = 0;
+  for (const Lit l : a) {
+    if (l == skip_a) continue;
+    while (j < b.size() && (b[j] < l || b[j] == skip_b)) j++;
+    if (j == b.size() || !(b[j] == l)) return false;
+    j++;
+  }
+  return true;
+}
+
+/// One bit per variable (mod 64). If sig(a) has a bit outside sig(b), then
+/// a cannot be a subset of b - no false negatives, cheap false positives.
+inline std::uint64_t clause_signature(std::span<const Lit> lits) {
+  std::uint64_t sig = 0;
+  for (const Lit l : lits) {
+    sig |= std::uint64_t{1} << (static_cast<std::uint32_t>(l.var()) & 63u);
+  }
+  return sig;
+}
+
+/// Necessary condition for "a subsumes (or self-subsumes into) b".
+inline bool signature_subset(std::uint64_t sig_a, std::uint64_t sig_b) {
+  return (sig_a & ~sig_b) == 0;
+}
+
+}  // namespace olsq2::sat::simplify

@@ -8,7 +8,6 @@
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
-#include "sat/clause_data.h"
 #include "sat/exchange.h"
 #include "sat/luby.h"
 
@@ -32,22 +31,40 @@ bool invariants_enabled_by_env() {
   return enabled;
 }
 
+// OLSQ2_INPROCESS gates inter-restart simplification. Read per solver
+// construction, not cached: test harnesses flip it between solver
+// instances within one process (golden runs, the fuzz differential).
+bool inprocess_enabled_by_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): solvers are constructed before
+  // their solving threads start; nothing in-process calls setenv racily.
+  const char* v = std::getenv("OLSQ2_INPROCESS");
+  return v == nullptr || *v == '\0' || std::string_view(v) != "0";
+}
+
 }  // namespace
 
-Solver::Solver() : check_invariants_enabled_(invariants_enabled_by_env()) {}
+Solver::Solver()
+    : inprocess_enabled_(inprocess_enabled_by_env()),
+      check_invariants_enabled_(invariants_enabled_by_env()) {}
 Solver::~Solver() = default;
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::kUndef);
   levels_.push_back(0);
-  reasons_.push_back(nullptr);
+  reasons_.push_back(kCRefUndef);
   activity_.push_back(0.0);
   polarity_.push_back(false);
   seen_.push_back(0);
   model_.push_back(LBool::kUndef);
+  substituted_.push_back(0);
+  subst_map_.push_back(Lit::pos(v));
+  subst_map_.push_back(Lit::neg(v));
   watches_.emplace_back();  // positive literal
   watches_.emplace_back();  // negative literal
+  watches_bin_.emplace_back();
+  watches_bin_.emplace_back();
+  lbd_mark_.push_back(0);
   order_heap_.insert(v);
   return v;
 }
@@ -81,39 +98,42 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return false;
   }
   if (lits.size() == 1) {
-    enqueue(lits[0], nullptr);
-    ok_ = (propagate() == nullptr);
+    enqueue(lits[0], kCRefUndef);
+    ok_ = (propagate() == kCRefUndef);
     if (!ok_ && proof_ != nullptr) proof_->add({});
     return ok_;
   }
 
   if (lits.size() == 2) stats_.binary_clauses++;
-  auto clause = std::make_unique<ClauseData>();
-  clause->lits = std::move(lits);
-  attach(clause.get());
-  clauses_.push_back(std::move(clause));
+  const CRef cr = arena_.alloc(lits, /*learnt=*/false, 0, Tier::kCore);
+  attach(cr);
+  clauses_.push_back(cr);
   num_original_clauses_++;
   return true;
 }
 
-void Solver::attach(ClauseData* c) {
-  assert(c->size() >= 2);
-  watches_[(~(*c)[0]).code()].push_back({c, (*c)[1]});
-  watches_[(~(*c)[1]).code()].push_back({c, (*c)[0]});
+void Solver::attach(CRef cr) {
+  const ClauseData& c = arena_[cr];
+  assert(c.size() >= 2);
+  auto& lists = c.size() == 2 ? watches_bin_ : watches_;
+  lists[(~c[0]).code()].push_back({cr, c[1]});
+  lists[(~c[1]).code()].push_back({cr, c[0]});
 }
 
-void Solver::detach(ClauseData* c) {
-  for (const Lit w : {(*c)[0], (*c)[1]}) {
-    auto& list = watches_[(~w).code()];
+void Solver::detach(CRef cr) {
+  const ClauseData& c = arena_[cr];
+  auto& lists = c.size() == 2 ? watches_bin_ : watches_;
+  for (const Lit w : {c[0], c[1]}) {
+    auto& list = lists[(~w).code()];
     auto it = std::find_if(list.begin(), list.end(),
-                           [c](const Watcher& x) { return x.clause == c; });
+                           [cr](const Watcher& x) { return x.cref == cr; });
     assert(it != list.end());
     *it = list.back();
     list.pop_back();
   }
 }
 
-void Solver::enqueue(Lit l, ClauseData* reason) {
+void Solver::enqueue(Lit l, CRef reason) {
   assert(value(l) == LBool::kUndef);
   const Var v = l.var();
   assigns_[v] = l.sign() ? LBool::kFalse : LBool::kTrue;
@@ -122,11 +142,29 @@ void Solver::enqueue(Lit l, ClauseData* reason) {
   trail_.push_back(l);
 }
 
-Solver::ClauseData* Solver::propagate() {
-  ClauseData* conflict = nullptr;
+CRef Solver::propagate() {
+  CRef conflict = kCRefUndef;
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];  // p is now true
     stats_.propagations++;
+    // Binary clauses first: the watcher alone decides the outcome, so this
+    // loop never touches the arena unless it implies or conflicts.
+    for (const Watcher& w : watches_bin_[p.code()]) {
+      const LBool v = value(w.blocker);
+      if (v == LBool::kTrue) continue;
+      if (v == LBool::kFalse) {
+        conflict = w.cref;
+        qhead_ = trail_.size();
+        return conflict;
+      }
+      // Keep the reason invariant: the implied literal sits first.
+      ClauseData& c = arena_[w.cref];
+      if (!(c[0] == w.blocker)) {
+        c[0] = w.blocker;
+        c[1] = ~p;
+      }
+      enqueue(w.blocker, w.cref);
+    }
     auto& list = watches_[p.code()];
     std::size_t i = 0, j = 0;
     const std::size_t n = list.size();
@@ -136,23 +174,29 @@ Solver::ClauseData* Solver::propagate() {
         list[j++] = w;
         continue;
       }
-      ClauseData& c = *w.clause;
+      ClauseData& c = arena_[w.cref];
       // Ensure the false literal (~p) sits at position 1.
       const Lit false_lit = ~p;
-      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      if (c[0] == false_lit) {
+        c[0] = c[1];
+        c[1] = false_lit;
+      }
       assert(c[1] == false_lit);
 
       const Lit first = c[0];
       if (first != w.blocker && value(first) == LBool::kTrue) {
-        list[j++] = {&c, first};
+        list[j++] = {w.cref, first};
         continue;
       }
       // Look for a replacement watch.
       bool found = false;
-      for (std::size_t k = 2; k < c.size(); ++k) {
-        if (value(c[k]) != LBool::kFalse) {
-          std::swap(c[1], c[k]);
-          watches_[(~c[1]).code()].push_back({&c, first});
+      Lit* ls = c.lits();
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(ls[k]) != LBool::kFalse) {
+          c[1] = ls[k];
+          ls[k] = false_lit;
+          watches_[(~c[1]).code()].push_back({w.cref, first});
           found = true;
           break;
         }
@@ -160,32 +204,38 @@ Solver::ClauseData* Solver::propagate() {
       if (found) continue;
 
       // Clause is unit or conflicting.
-      list[j++] = {&c, first};
+      list[j++] = {w.cref, first};
       if (value(first) == LBool::kFalse) {
-        conflict = &c;
+        conflict = w.cref;
         qhead_ = trail_.size();
         // Copy the remaining watchers back before bailing out.
         while (i < n) list[j++] = list[i++];
         break;
       }
-      enqueue(first, &c);
+      enqueue(first, w.cref);
     }
     list.resize(j);
-    if (conflict != nullptr) break;
+    if (conflict != kCRefUndef) break;
   }
   return conflict;
 }
 
 unsigned Solver::compute_lbd(std::span<const Lit> lits) {
-  // Number of distinct decision levels; small scratch set via sort-free scan.
-  thread_local std::vector<int> seen_levels;
-  seen_levels.clear();
-  for (const Lit l : lits) {
-    const int lv = level(l.var());
-    if (std::find(seen_levels.begin(), seen_levels.end(), lv) == seen_levels.end())
-      seen_levels.push_back(lv);
+  // Number of distinct decision levels, counted with a per-level stamp
+  // array (lbd_mark_ is sized by num_vars >= max level) - O(|lits|).
+  if (++lbd_stamp_ == 0) {  // stamp wrapped: invalidate stale marks
+    std::fill(lbd_mark_.begin(), lbd_mark_.end(), 0u);
+    lbd_stamp_ = 1;
   }
-  return static_cast<unsigned>(seen_levels.size());
+  unsigned lbd = 0;
+  for (const Lit l : lits) {
+    const auto lv = static_cast<std::size_t>(level(l.var()));
+    if (lbd_mark_[lv] != lbd_stamp_) {
+      lbd_mark_[lv] = lbd_stamp_;
+      lbd++;
+    }
+  }
+  return lbd;
 }
 
 void Solver::var_bump(Var v) {
@@ -197,10 +247,15 @@ void Solver::var_bump(Var v) {
   order_heap_.update(v);
 }
 
-void Solver::clause_bump(ClauseData* c) {
-  c->activity += static_cast<float>(clause_inc_);
-  if (c->activity > 1e20f) {
-    for (auto& cl : learnts_) cl->activity *= 1e-20f;
+void Solver::clause_bump(ClauseData& c) {
+  c.set_activity(c.activity() + static_cast<float>(clause_inc_));
+  if (c.activity() > 1e20f) {
+    for (const auto* tier : {&learnts_core_, &learnts_tier2_, &learnts_local_}) {
+      for (const CRef cr : *tier) {
+        ClauseData& d = arena_[cr];
+        d.set_activity(d.activity() * 1e-20f);
+      }
+    }
     clause_inc_ *= 1e-20;
   }
 }
@@ -208,17 +263,18 @@ void Solver::clause_bump(ClauseData* c) {
 bool Solver::literal_redundant(Lit l) {
   // Basic (non-recursive) minimization: l is redundant if its reason exists
   // and every other reason literal is already marked seen or is root-level.
-  const ClauseData* reason = reasons_[l.var()];
-  if (reason == nullptr) return false;
-  for (std::size_t i = 0; i < reason->size(); ++i) {
-    const Lit q = (*reason)[i];
+  const CRef reason_ref = reasons_[l.var()];
+  if (reason_ref == kCRefUndef) return false;
+  const ClauseData& reason = arena_[reason_ref];
+  for (std::uint32_t i = 0; i < reason.size(); ++i) {
+    const Lit q = reason[i];
     if (q.var() == l.var()) continue;
     if (!seen_[q.var()] && level(q.var()) > 0) return false;
   }
   return true;
 }
 
-void Solver::analyze(ClauseData* conflict, std::vector<Lit>& out_learnt,
+void Solver::analyze(CRef conflict, std::vector<Lit>& out_learnt,
                      int& out_btlevel, unsigned& out_lbd) {
   out_learnt.clear();
   out_learnt.push_back(kUndefLit);  // placeholder for the asserting literal
@@ -227,17 +283,20 @@ void Solver::analyze(ClauseData* conflict, std::vector<Lit>& out_learnt,
   Lit p = kUndefLit;
   std::size_t index = trail_.size();
 
-  ClauseData* reason = conflict;
+  CRef reason_ref = conflict;
   do {
-    assert(reason != nullptr);
-    if (reason->learnt) {
+    assert(reason_ref != kCRefUndef);
+    ClauseData& reason = arena_[reason_ref];
+    if (reason.learnt()) {
       clause_bump(reason);
-      // Dynamic LBD refresh: clauses that became glue are worth protecting.
-      const unsigned fresh = compute_lbd(reason->lits);
-      if (fresh < reason->lbd) reason->lbd = fresh;
+      reason.set_used(2);  // participated in a conflict: defer demotion
+      // Dynamic LBD refresh: clauses that became glue are worth protecting
+      // (reduce_db promotes tiers from the refreshed value).
+      const unsigned fresh = compute_lbd(reason.literals());
+      if (fresh < reason.lbd()) reason.set_lbd(fresh);
     }
-    for (std::size_t i = (p.is_undef() ? 0 : 1); i < reason->size(); ++i) {
-      const Lit q = (*reason)[i];
+    for (std::uint32_t i = (p.is_undef() ? 0 : 1); i < reason.size(); ++i) {
+      const Lit q = reason[i];
       const Var v = q.var();
       if (seen_[v] || level(v) == 0) continue;
       seen_[v] = 1;
@@ -251,7 +310,7 @@ void Solver::analyze(ClauseData* conflict, std::vector<Lit>& out_learnt,
     // Walk back along the trail to the next marked literal.
     while (!seen_[trail_[index - 1].var()]) index--;
     p = trail_[--index];
-    reason = reasons_[p.var()];
+    reason_ref = reasons_[p.var()];
     seen_[p.var()] = 0;
     path_count--;
   } while (path_count > 0);
@@ -292,7 +351,7 @@ void Solver::cancel_until(int target_level) {
     const Var v = trail_[--i].var();
     polarity_[v] = (assigns_[v] == LBool::kTrue);
     assigns_[v] = LBool::kUndef;
-    reasons_[v] = nullptr;
+    reasons_[v] = kCRefUndef;
     order_heap_.insert(v);
   }
   trail_.resize(trail_lim_[target_level]);
@@ -314,6 +373,7 @@ Lit Solver::pick_branch_lit() {
 void Solver::set_polarity(Var v, bool value) { polarity_[v] = value; }
 
 void Solver::set_exchange(ClauseExchange* exchange, const std::string& group) {
+  flush_pending_exports();  // drain to the previous hub before switching
   exchange_ = exchange;
   exchange_id_ = exchange == nullptr ? -1 : exchange->add_solver(group);
   exchange_seen_ = 0;
@@ -342,6 +402,28 @@ void Solver::export_learnt(std::span<const Lit> lits, unsigned lbd) {
   }
 }
 
+void Solver::flush_pending_exports() {
+  if (pending_exports_.empty()) return;
+  if (exchange_ == nullptr) {
+    pending_exports_.clear();
+    return;
+  }
+  // One hub lock for the whole batch instead of one per learnt clause; the
+  // spans point straight into the arena, so this must run before anything
+  // deletes or relocates clauses (reduce_db, inprocessing, GC all flush
+  // first by contract).
+  std::vector<ClauseExchange::ExportItem> items;
+  items.reserve(pending_exports_.size());
+  for (const CRef cr : pending_exports_) {
+    const ClauseData& c = arena_[cr];
+    items.push_back({c.literals(), c.lbd()});
+  }
+  const std::size_t accepted = exchange_->publish_batch(exchange_id_, items);
+  stats_.exported_clauses += accepted;
+  stats_.filtered_exports += items.size() - accepted;
+  pending_exports_.clear();
+}
+
 void Solver::import_clause(std::span<const Lit> lits, unsigned lbd) {
   // Runs at decision level 0. Mirrors add_clause's normalization, but the
   // result is stored as a learnt clause (evictable by reduce_db) and is
@@ -366,15 +448,15 @@ void Solver::import_clause(std::span<const Lit> lits, unsigned lbd) {
   }
   stats_.imported_clauses++;
   if (c.size() == 1) {
-    enqueue(c[0], nullptr);  // propagated by the caller
+    enqueue(c[0], kCRefUndef);  // propagated by the caller
     return;
   }
-  auto clause = std::make_unique<ClauseData>();
-  clause->lits = c;
-  clause->learnt = true;
-  clause->lbd = std::max(1u, std::min(lbd, static_cast<unsigned>(c.size())));
-  attach(clause.get());
-  learnts_.push_back(std::move(clause));
+  const unsigned clamped = std::max(1u, std::min(lbd, static_cast<unsigned>(c.size())));
+  const Tier tier = tier_for_lbd(clamped);
+  const CRef cr = arena_.alloc(c, /*learnt=*/true, clamped, tier);
+  arena_[cr].set_used(2);
+  attach(cr);
+  tier_list(tier).push_back(cr);
   if (c.size() == 2) stats_.binary_clauses++;
 }
 
@@ -391,7 +473,7 @@ bool Solver::import_shared() {
                      [this](std::span<const Lit> lits, unsigned lbd) {
                        if (ok_) import_clause(lits, lbd);
                      });
-  if (ok_ && propagate() != nullptr) ok_ = false;  // imported units conflict
+  if (ok_ && propagate() != kCRefUndef) ok_ = false;  // imported units conflict
   if (span.live()) {
     span.arg("imported", stats_.imported_clauses - before);
   }
@@ -411,12 +493,12 @@ void Solver::analyze_final(Lit failed_assumption) {
        i-- > static_cast<std::size_t>(trail_lim_[0]);) {
     const Var v = trail_[i].var();
     if (!seen_[v]) continue;
-    if (reasons_[v] == nullptr) {
+    if (reasons_[v] == kCRefUndef) {
       assert(level(v) > 0);
       conflict_core_.push_back(~trail_[i]);
     } else {
-      const ClauseData& reason = *reasons_[v];
-      for (std::size_t k = 1; k < reason.size(); ++k) {
+      const ClauseData& reason = arena_[reasons_[v]];
+      for (std::uint32_t k = 1; k < reason.size(); ++k) {
         if (level(reason[k].var()) > 0) seen_[reason[k].var()] = 1;
       }
     }
@@ -474,7 +556,7 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
   std::int64_t conflict_count = 0;
   std::vector<Lit> learnt;
   while (true) {
-    ClauseData* conflict;
+    CRef conflict;
     if (trace_live_) {
       const auto t0 = std::chrono::steady_clock::now();
       conflict = propagate();
@@ -484,7 +566,7 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
     } else {
       conflict = propagate();
     }
-    if (conflict != nullptr) {
+    if (conflict != kCRefUndef) {
       stats_.conflicts++;
       conflict_count++;
       if (decision_level() == 0) {
@@ -509,20 +591,18 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
       cancel_until(bt_level);
       note_learnt_lbd(lbd);
       if (proof_ != nullptr) proof_->add(learnt);
-      export_learnt(learnt, lbd);
       if (learnt.size() == 1) {
-        enqueue(learnt[0], nullptr);
+        export_learnt(learnt, lbd);  // units are too valuable to batch
+        enqueue(learnt[0], kCRefUndef);
       } else {
-        auto clause = std::make_unique<ClauseData>();
-        clause->lits = learnt;
-        clause->learnt = true;
-        clause->lbd = lbd;
-        clause->activity = 0.0f;
-        ClauseData* raw = clause.get();
-        attach(raw);
-        learnts_.push_back(std::move(clause));
-        clause_bump(raw);
-        enqueue(learnt[0], raw);
+        const Tier tier = tier_for_lbd(lbd);
+        const CRef cr = arena_.alloc(learnt, /*learnt=*/true, lbd, tier);
+        arena_[cr].set_used(2);
+        attach(cr);
+        tier_list(tier).push_back(cr);
+        clause_bump(arena_[cr]);
+        enqueue(learnt[0], cr);
+        if (exchange_ != nullptr) pending_exports_.push_back(cr);
         stats_.learnt_clauses++;
         stats_.learnt_literals += learnt.size();
         if (learnt.size() == 2) stats_.binary_clauses++;
@@ -530,13 +610,14 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
       var_decay();
       clause_decay();
       if ((conflict_count & 0xFF) == 0) {
+        flush_pending_exports();
         if (progress_cb_ && stats_.conflicts >= next_progress_conflicts_) {
           progress_cb_(stats_);
           next_progress_conflicts_ = stats_.conflicts + progress_interval_;
         }
         if (trace_live_) {
           obs::counter("sat.conflicts", static_cast<double>(stats_.conflicts));
-          obs::counter("sat.learnts", static_cast<double>(learnts_.size()));
+          obs::counter("sat.learnts", static_cast<double>(num_learnts()));
           obs::counter("sat.propagations",
                        static_cast<double>(stats_.propagations));
           if (exchange_ != nullptr) {
@@ -561,6 +642,7 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
         if (trace_live_) obs::instant("sat.restart");
         reset_recent_lbds();
         cancel_until(0);
+        flush_pending_exports();
         audit_invariants("restart");
         return LBool::kUndef;
       }
@@ -600,62 +682,200 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
         }
       }
       new_decision_level();
-      enqueue(next, nullptr);
+      enqueue(next, kCRefUndef);
     }
   }
+}
+
+void Solver::drop_clause(CRef cr) {
+  ClauseData& c = arena_[cr];
+  if (proof_ != nullptr) proof_->remove(Clause(c.lits(), c.lits() + c.size()));
+  detach(cr);
+  arena_.free_clause(cr);
 }
 
 void Solver::reduce_db() {
   obs::Span span("sat.reduce_db");
-  const std::size_t before = learnts_.size();
-  // Keep reasons, binaries, and glue clauses (LBD <= 2); of the rest, delete
-  // the less active half.
-  auto locked = [this](const ClauseData* c) {
-    return reasons_[(*c)[0].var()] == c && value((*c)[0]) == LBool::kTrue;
+  flush_pending_exports();  // exported spans must not point at freed clauses
+  const std::size_t before = static_cast<std::size_t>(num_learnts());
+  const auto locked = [this](CRef cr, const ClauseData& c) {
+    return reasons_[c[0].var()] == cr && value(c[0]) == LBool::kTrue;
   };
-  std::sort(learnts_.begin(), learnts_.end(), [](const auto& a, const auto& b) {
-    if (a->lbd != b->lbd) return a->lbd > b->lbd;  // worst glue first
-    return a->activity < b->activity;
-  });
-  const std::size_t target_removals = learnts_.size() / 2;
-  std::size_t removed = 0;
-  std::vector<std::unique_ptr<ClauseData>> kept;
-  kept.reserve(learnts_.size());
-  for (auto& c : learnts_) {
-    const bool protected_clause = c->size() == 2 || c->lbd <= 2 || locked(c.get());
-    if (removed < target_removals && !protected_clause) {
-      if (proof_ != nullptr) proof_->remove(c->lits);
-      detach(c.get());
-      removed++;
+
+  // Re-tier first: promotions follow the LBD refreshed during conflict
+  // analysis; demotions hit clauses whose used countdown ran out without
+  // participating in a conflict since the last reduction.
+  std::vector<CRef> core, tier2, local;
+  core.reserve(learnts_core_.size());
+  tier2.reserve(learnts_tier2_.size());
+  local.reserve(learnts_local_.size() + learnts_tier2_.size());
+  for (const CRef cr : learnts_core_) {
+    ClauseData& c = arena_[cr];
+    if (c.lbd() <= 2 || c.used() > 0 || locked(cr, c)) {
+      if (c.used() > 0) c.set_used(c.used() - 1);
+      core.push_back(cr);
     } else {
-      kept.push_back(std::move(c));
+      c.set_tier(Tier::kTier2);
+      tier2.push_back(cr);
     }
   }
-  learnts_ = std::move(kept);
+  for (const CRef cr : learnts_tier2_) {
+    ClauseData& c = arena_[cr];
+    if (c.lbd() <= kCoreLbd) {
+      c.set_tier(Tier::kCore);
+      core.push_back(cr);
+    } else if (c.used() > 0 || locked(cr, c)) {
+      if (c.used() > 0) c.set_used(c.used() - 1);
+      tier2.push_back(cr);
+    } else {
+      c.set_tier(Tier::kLocal);
+      local.push_back(cr);
+    }
+  }
+  for (const CRef cr : learnts_local_) {
+    ClauseData& c = arena_[cr];
+    if (c.lbd() <= kCoreLbd) {
+      c.set_tier(Tier::kCore);
+      core.push_back(cr);
+    } else if (c.lbd() <= kTier2Lbd) {
+      c.set_tier(Tier::kTier2);
+      tier2.push_back(cr);
+    } else {
+      local.push_back(cr);
+    }
+  }
+
+  // Halve the local pool, least active first; reasons, binaries, and glue
+  // are protected.
+  std::sort(local.begin(), local.end(), [this](CRef a, CRef b) {
+    return arena_[a].activity() < arena_[b].activity();
+  });
+  const std::size_t target_removals = local.size() / 2;
+  std::size_t removed = 0;
+  std::vector<CRef> kept;
+  kept.reserve(local.size() - target_removals);
+  for (const CRef cr : local) {
+    const ClauseData& c = arena_[cr];
+    const bool protected_clause =
+        c.size() == 2 || c.lbd() <= 2 || locked(cr, c);
+    if (removed < target_removals && !protected_clause) {
+      drop_clause(cr);
+      removed++;
+    } else {
+      kept.push_back(cr);
+    }
+  }
+  // Global backstop: the tiers bound clause *quality*, not count. When the
+  // whole DB still exceeds the MiniSat-style budget, shed the least active
+  // unprotected tier2 clauses too - otherwise conflict-dense instances
+  // accumulate mid-LBD clauses without bound and propagation slows under
+  // the dead weight.
+  const auto cap = static_cast<std::size_t>(std::max(max_learnts_, 100.0));
+  if (core.size() + tier2.size() + kept.size() > cap) {
+    std::sort(tier2.begin(), tier2.end(), [this](CRef a, CRef b) {
+      return arena_[a].activity() < arena_[b].activity();
+    });
+    std::size_t excess = core.size() + tier2.size() + kept.size() - cap;
+    std::vector<CRef> tier2_kept;
+    tier2_kept.reserve(tier2.size());
+    for (const CRef cr : tier2) {
+      const ClauseData& c = arena_[cr];
+      const bool protected_clause =
+          c.size() == 2 || c.lbd() <= 2 || c.used() > 0 || locked(cr, c);
+      if (excess > 0 && !protected_clause) {
+        drop_clause(cr);
+        removed++;
+        excess--;
+      } else {
+        tier2_kept.push_back(cr);
+      }
+    }
+    tier2 = std::move(tier2_kept);
+  }
+  learnts_core_ = std::move(core);
+  learnts_tier2_ = std::move(tier2);
+  learnts_local_ = std::move(kept);
   stats_.removed_clauses += removed;
   max_learnts_ *= learnt_size_inc_;
+  maybe_collect_garbage();
   if (span.live()) {
     span.arg("learnts_before", static_cast<std::uint64_t>(before));
     span.arg("removed", static_cast<std::uint64_t>(removed));
+    span.arg("core", static_cast<std::uint64_t>(learnts_core_.size()));
+    span.arg("tier2", static_cast<std::uint64_t>(learnts_tier2_.size()));
+    span.arg("local", static_cast<std::uint64_t>(learnts_local_.size()));
   }
 }
 
+void Solver::relocate_all(ClauseArena& to) {
+  for (auto* lists : {&watches_, &watches_bin_}) {
+    for (auto& list : *lists) {
+      for (Watcher& w : list) arena_.reloc(w.cref, to);
+    }
+  }
+  for (const Lit l : trail_) {
+    CRef& r = reasons_[l.var()];
+    if (r != kCRefUndef) arena_.reloc(r, to);
+  }
+  for (CRef& cr : clauses_) arena_.reloc(cr, to);
+  for (auto* tier : {&learnts_core_, &learnts_tier2_, &learnts_local_}) {
+    for (CRef& cr : *tier) arena_.reloc(cr, to);
+  }
+  for (CRef& cr : pending_exports_) arena_.reloc(cr, to);
+}
+
+void Solver::garbage_collect() {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Size the target for the live payload; reloc grows it on demand if the
+  // estimate is ever off.
+  ClauseArena to(arena_.size_words() - arena_.wasted_words());
+  relocate_all(to);
+  arena_ = std::move(to);
+  stats_.arena_gcs++;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (obs::metrics::enabled()) {
+    namespace m = obs::metrics;
+    m::Registry& reg = m::Registry::instance();
+    static m::Counter& gcs = reg.counter(
+        "sat_arena_gc_total", "Clause-arena compactions across all solvers");
+    static m::Histogram& gc_ms = reg.histogram(
+        "sat_arena_gc_ms", "Clause-arena compaction latency (milliseconds)");
+    gcs.inc();
+    gc_ms.observe(ms);
+  }
+  if (trace_live_) obs::instant("sat.arena_gc");
+}
+
 std::int64_t Solver::num_learnts() const {
-  return static_cast<std::int64_t>(learnts_.size());
+  return static_cast<std::int64_t>(learnts_core_.size() +
+                                   learnts_tier2_.size() +
+                                   learnts_local_.size());
+}
+
+Solver::TierCounts Solver::learnt_tiers() const {
+  return {learnts_core_.size(), learnts_tier2_.size(), learnts_local_.size()};
 }
 
 MemoryStats Solver::memory_stats() const {
   MemoryStats m;
-  const auto clause_bytes = [](const std::unique_ptr<ClauseData>& c) {
-    return sizeof(ClauseData) + c->lits.capacity() * sizeof(Lit);
+  const auto live_bytes = [this](CRef cr) {
+    return ClauseArena::clause_words(arena_[cr].size()) * sizeof(std::uint32_t);
   };
-  for (const auto& c : clauses_) m.clause_bytes += clause_bytes(c);
-  m.clause_bytes += clauses_.capacity() * sizeof(std::unique_ptr<ClauseData>);
-  for (const auto& c : learnts_) m.learnt_bytes += clause_bytes(c);
-  m.learnt_bytes += learnts_.capacity() * sizeof(std::unique_ptr<ClauseData>);
-  for (const auto& w : watches_) {
-    m.watch_bytes += sizeof(w) + w.capacity() * sizeof(Watcher);
+  for (const CRef cr : clauses_) m.clause_bytes += live_bytes(cr);
+  m.clause_bytes += clauses_.capacity() * sizeof(CRef);
+  for (const auto* tier : {&learnts_core_, &learnts_tier2_, &learnts_local_}) {
+    for (const CRef cr : *tier) m.learnt_bytes += live_bytes(cr);
+    m.learnt_bytes += tier->capacity() * sizeof(CRef);
   }
+  for (const auto* lists : {&watches_, &watches_bin_}) {
+    for (const auto& w : *lists) {
+      m.watch_bytes += sizeof(w) + w.capacity() * sizeof(Watcher);
+    }
+  }
+  m.arena_bytes = arena_.capacity_bytes();
+  m.arena_wasted_bytes = arena_.wasted_bytes();
   return m;
 }
 
@@ -691,6 +911,16 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
       status = LBool::kFalse;
       break;
     }
+    // Inter-restart inprocessing on a growing conflict interval.
+    if (inprocess_enabled_ && stats_.conflicts >= next_inprocess_conflicts_) {
+      if (!inprocess()) {
+        status = LBool::kFalse;
+        break;
+      }
+      next_inprocess_conflicts_ = stats_.conflicts + inprocess_interval_;
+      inprocess_interval_ *= 2;
+    }
+    maybe_collect_garbage();
     if (restart_policy_ == RestartPolicy::kAlternating) {
       if (stats_.conflicts >= next_mode_switch_) {
         effective_policy_ = effective_policy_ == RestartPolicy::kGlucose
@@ -709,6 +939,7 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
     restart_round++;
   }
   cancel_until(0);
+  flush_pending_exports();
   assumptions_.clear();
   audit_invariants("solve-exit");
   const Stats delta = stats_ - before;
@@ -731,6 +962,28 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
         "sat_watch_bytes", "Watch-list bytes (last finished solver)");
     static m::Gauge& clause_bytes = reg.gauge(
         "sat_clause_bytes", "Original-clause bytes (last finished solver)");
+    static m::Gauge& arena_bytes = reg.gauge(
+        "sat_arena_bytes", "Clause-arena capacity bytes (last finished solver)");
+    static m::Gauge& arena_wasted = reg.gauge(
+        "sat_arena_wasted_bytes",
+        "Clause-arena bytes awaiting GC (last finished solver)");
+    static m::Gauge& tier_core = reg.gauge(
+        "sat_learnt_core_clauses", "Core-tier learnts (last finished solver)");
+    static m::Gauge& tier_mid = reg.gauge(
+        "sat_learnt_tier2_clauses", "Tier2 learnts (last finished solver)");
+    static m::Gauge& tier_local = reg.gauge(
+        "sat_learnt_local_clauses", "Local-tier learnts (last finished solver)");
+    static m::Counter& inprocess_rounds = reg.counter(
+        "sat_inprocess_rounds_total", "Inprocessing rounds across all solvers");
+    static m::Counter& inprocess_strengthened = reg.counter(
+        "sat_inprocess_strengthened_total",
+        "Literals removed by inprocessing (vivification + SSR)");
+    static m::Counter& inprocess_removed = reg.counter(
+        "sat_inprocess_removed_total",
+        "Clauses deleted by inprocessing (subsumption, vivification, equiv)");
+    static m::Counter& equiv_vars = reg.counter(
+        "sat_equiv_vars_total",
+        "Variables retired by equivalent-literal substitution");
     solve_ms.observe(
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - solve_start_)
@@ -738,10 +991,20 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
     conflicts.inc(delta.conflicts);
     propagations.inc(delta.propagations);
     restarts.inc(delta.restarts);
+    inprocess_rounds.inc(delta.inprocess_rounds);
+    inprocess_strengthened.inc(delta.inprocess_strengthened_lits);
+    inprocess_removed.inc(delta.inprocess_removed_clauses);
+    equiv_vars.inc(delta.equiv_vars);
     const MemoryStats mem = memory_stats();
     learnt_bytes.set(static_cast<double>(mem.learnt_bytes));
     watch_bytes.set(static_cast<double>(mem.watch_bytes));
     clause_bytes.set(static_cast<double>(mem.clause_bytes));
+    arena_bytes.set(static_cast<double>(mem.arena_bytes));
+    arena_wasted.set(static_cast<double>(mem.arena_wasted_bytes));
+    const TierCounts tiers = learnt_tiers();
+    tier_core.set(static_cast<double>(tiers.core));
+    tier_mid.set(static_cast<double>(tiers.tier2));
+    tier_local.set(static_cast<double>(tiers.local));
   }
   if (span.live()) {
     span.arg("result", status == LBool::kTrue    ? "sat"
@@ -755,6 +1018,9 @@ LBool Solver::solve(std::span<const Lit> assumptions) {
     span.arg("propagations", delta.propagations);
     span.arg("restarts", delta.restarts);
     span.arg("propagate_ms", static_cast<double>(propagate_ns_) / 1e6);
+    if (delta.inprocess_rounds > 0) {
+      span.arg("inprocess_rounds", delta.inprocess_rounds);
+    }
     if (exchange_ != nullptr) {
       span.arg("exported", delta.exported_clauses);
       span.arg("imported", delta.imported_clauses);

@@ -2,9 +2,12 @@
 //
 // Features: two-watched-literal propagation with blockers, first-UIP conflict
 // analysis with basic clause minimization, VSIDS decision heuristic with
-// phase saving, Luby restarts, activity-driven learnt-clause deletion, and
-// incremental solving (clauses may be added between solve() calls; solve()
-// accepts assumption literals).
+// phase saving, Luby restarts, a three-tier learnt-clause database with
+// usage-based demotion, inter-restart inprocessing (vivification,
+// subsumption/self-subsuming resolution, equivalent-literal substitution),
+// and incremental solving (clauses may be added between solve() calls;
+// solve() accepts assumption literals). Clauses live in a bump-allocated
+// arena (arena.h) addressed by 32-bit references with a compacting GC.
 //
 // This solver is the substrate replacing Z3's SAT core in the OLSQ2
 // reproduction: the paper's winning configuration bit-blasts everything into
@@ -21,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sat/arena.h"
 #include "sat/heap.h"
 #include "sat/proof.h"
 #include "sat/stats.h"
@@ -95,7 +99,8 @@ class Solver {
   /// Attach this solver to a cooperative clause exchange under sharing
   /// group `group` (see ClauseExchange for the group contract: identical
   /// CNF variable numbering). Learnt clauses passing the hub's filter are
-  /// exported as they are derived; foreign clauses are imported at restart
+  /// exported in batches at the search loop's bookkeeping cadence (unit
+  /// learnts immediately); foreign clauses are imported at restart
   /// boundaries (quiescent, decision level 0, watches rebuilt correctly).
   /// Pass nullptr to detach. Import is disabled while a DRAT proof is
   /// attached - foreign clauses are not derivable in this solver's proof.
@@ -119,10 +124,55 @@ class Solver {
   std::int64_t num_clauses() const { return num_original_clauses_; }
   std::int64_t num_learnts() const;
 
-  /// Byte-level snapshot of the dominant heap consumers (clause DBs and
-  /// watch lists), measured from container capacities. O(clauses + vars);
+  /// Learnt-DB occupancy by tier (core / tier2 / local; see arena.h Tier).
+  struct TierCounts {
+    std::size_t core = 0;
+    std::size_t tier2 = 0;
+    std::size_t local = 0;
+  };
+  TierCounts learnt_tiers() const;
+
+  /// Byte-level snapshot of the dominant heap consumers: live clause bytes
+  /// inside the arena (split original/learnt), arena capacity and dead
+  /// weight awaiting GC, and watch-list capacities. O(clauses + vars);
   /// call at quiescent points, not inside the search loop.
   MemoryStats memory_stats() const;
+
+  /// Compact the clause arena now: copies every live clause into a fresh
+  /// arena and rewrites all watcher, reason, tier-list, and pending-export
+  /// references. Runs automatically when enough dead weight accumulates
+  /// (deleted learnts, strengthened literals); public for tests and for
+  /// embedders that want memory back at a known-quiescent point.
+  void garbage_collect();
+
+  /// Inter-restart inprocessing: equivalent-literal substitution (SCC over
+  /// the binary implication graph), clause subsumption / self-subsuming
+  /// resolution, and clause vivification, each emitting DRAT add/delete
+  /// steps so proofs stay checkable. Enabled by default; the
+  /// OLSQ2_INPROCESS environment variable (read per solver construction;
+  /// "0" disables) or set_inprocessing() override it.
+  void set_inprocessing(bool enabled) { inprocess_enabled_ = enabled; }
+  bool inprocessing_enabled() const { return inprocess_enabled_; }
+
+  /// Run one inprocessing round immediately (backtracks to decision level
+  /// 0 first). Returns okay(): false when a pass derived root UNSAT.
+  /// Normally the solve loop schedules rounds on a growing conflict
+  /// interval; this entry point exists for tests and offline simplifiers.
+  bool inprocess();
+
+  /// Override the inprocessing schedule: first round once the lifetime
+  /// conflict count reaches `first_conflicts`, then every `interval`
+  /// conflicts (the interval doubles per round). Tests and the fuzz
+  /// differential oracle use this to force rounds early.
+  void set_inprocess_schedule(std::uint64_t first_conflicts,
+                              std::uint64_t interval) {
+    next_inprocess_conflicts_ = first_conflicts;
+    inprocess_interval_ = interval == 0 ? 1 : interval;
+  }
+
+  /// Per-round work budget in "ticks" (one tick ~ one propagation step or
+  /// one subsumption candidate test); passes stop cleanly when spent.
+  void set_inprocess_budget(std::uint64_t ticks) { inprocess_budget_ = ticks; }
 
   /// Periodic progress reporting: `callback` is invoked from inside solve()
   /// roughly every `interval_conflicts` conflicts with a Stats snapshot.
@@ -147,18 +197,20 @@ class Solver {
   /// Empty when the formula is UNSAT regardless of assumptions.
   const std::vector<Lit>& conflict_core() const { return conflict_core_; }
 
-  /// Attach a DRAT proof log (learnt clauses, deletions, and the empty
-  /// clause on root UNSAT are recorded). Enable before adding clauses so
-  /// normalization steps are covered; pass nullptr to detach.
+  /// Attach a DRAT proof log (learnt clauses, deletions, inprocessing
+  /// rewrites, and the empty clause on root UNSAT are recorded). Enable
+  /// before adding clauses so normalization steps are covered; pass
+  /// nullptr to detach.
   void set_proof(Proof* proof) { proof_ = proof; }
 
   /// Deep structural self-check of the solver state: watch-list integrity
   /// (every stored clause watched exactly twice, on its first two literals,
   /// with watcher blockers drawn from the clause; a false watched literal
   /// only with the clause otherwise satisfied at an earlier level),
-  /// trail/level consistency, and reason-clause sanity. Returns true when
-  /// consistent; on failure returns false and appends descriptions to
-  /// `errors` (when non-null). Safe to call at any quiescent point.
+  /// trail/level consistency, reason-clause sanity, learnt-tier/header
+  /// agreement, and arena accounting. Returns true when consistent; on
+  /// failure returns false and appends descriptions to `errors` (when
+  /// non-null). Safe to call at any quiescent point.
   bool check_invariants(std::vector<std::string>* errors = nullptr) const;
 
   /// Opt-in continuous auditing: when enabled, check_invariants() runs at
@@ -172,23 +224,37 @@ class Solver {
   bool checking_invariants() const { return check_invariants_enabled_; }
 
  private:
-  struct ClauseData;
   struct Watcher {
-    ClauseData* clause;
+    CRef cref;
     Lit blocker;
   };
+  static_assert(sizeof(Watcher) == 8, "watchers are the propagation hot path");
+
+  // Tier thresholds: learnt LBD <= kCoreLbd lands in core, <= kTier2Lbd in
+  // tier2, the rest in the high-churn local pool.
+  static constexpr unsigned kCoreLbd = 3;
+  static constexpr unsigned kTier2Lbd = 6;
+  static Tier tier_for_lbd(unsigned lbd) {
+    if (lbd <= kCoreLbd) return Tier::kCore;
+    if (lbd <= kTier2Lbd) return Tier::kTier2;
+    return Tier::kLocal;
+  }
+  std::vector<CRef>& tier_list(Tier t) {
+    return t == Tier::kCore    ? learnts_core_
+           : t == Tier::kTier2 ? learnts_tier2_
+                               : learnts_local_;
+  }
 
   LBool value(Var v) const { return assigns_[v]; }
   LBool value(Lit l) const { return lit_value(assigns_[l.var()], l.sign()); }
   int level(Var v) const { return levels_[v]; }
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
 
-  void attach(ClauseData* c);
-  void detach(ClauseData* c);
-  void remove_clause(ClauseData* c);
-  void enqueue(Lit l, ClauseData* reason);
-  ClauseData* propagate();
-  void analyze(ClauseData* conflict, std::vector<Lit>& out_learnt, int& out_btlevel,
+  void attach(CRef cr);
+  void detach(CRef cr);
+  void enqueue(Lit l, CRef reason);
+  CRef propagate();
+  void analyze(CRef conflict, std::vector<Lit>& out_learnt, int& out_btlevel,
                unsigned& out_lbd);
   bool literal_redundant(Lit l);
   void cancel_until(int level);
@@ -203,7 +269,7 @@ class Solver {
   void reduce_db();
   void var_bump(Var v);
   void var_decay() { var_inc_ *= (1.0 / kVarDecay); }
-  void clause_bump(ClauseData* c);
+  void clause_bump(ClauseData& c);
   void clause_decay() { clause_inc_ *= (1.0 / kClauseDecay); }
   unsigned compute_lbd(std::span<const Lit> lits);
   bool budget_exhausted() const;
@@ -211,17 +277,37 @@ class Solver {
   void reset_recent_lbds();
   bool glucose_restart_due() const;
   void analyze_final(Lit failed_assumption);
-  /// Export a freshly learnt clause to the exchange (no-op when detached).
+  /// Export a clause to the exchange immediately (units; no-op detached).
   void export_learnt(std::span<const Lit> lits, unsigned lbd);
+  /// Hand the batched pending learnts to the exchange under one hub lock.
+  /// Must run before any operation that deletes or relocates clauses.
+  void flush_pending_exports();
   /// Adopt foreign clauses from the exchange. Must be called at decision
   /// level 0. Returns false when an imported unit closes the formula
   /// (ok_ flips to false).
   bool import_shared();
   /// Add one foreign clause at root level with watch/level handling.
   void import_clause(std::span<const Lit> lits, unsigned lbd);
+  /// GC helper: rewrite every live reference into `to`.
+  void relocate_all(ClauseArena& to);
+  void maybe_collect_garbage() {
+    if (arena_.should_collect()) garbage_collect();
+  }
   /// Invariant-auditing hook: no-op unless enabled; throws std::logic_error
   /// (tagged with `where`) when a check fails.
   void audit_invariants(const char* where) const;
+
+  // Inprocessing passes (inprocess.cpp). Each draws down `ticks` and stops
+  // cleanly at zero; each returns ok_ (false = derived root UNSAT).
+  bool inprocess_equiv(std::uint64_t& ticks);
+  bool inprocess_subsume(std::uint64_t& ticks);
+  bool inprocess_vivify(std::uint64_t& ticks);
+  /// Delete an attached clause: DRAT delete, detach, arena free. The
+  /// caller owns removing `cr` from its containing list.
+  void drop_clause(CRef cr);
+  /// Root-level unit derived by an inprocessing rewrite: DRAT-logged by
+  /// the caller; enqueues and propagates. Returns ok_.
+  bool assert_root_unit(Lit l);
 
   static constexpr double kVarDecay = 0.95;
   static constexpr double kClauseDecay = 0.999;
@@ -232,18 +318,26 @@ class Solver {
   // Per-variable state.
   std::vector<LBool> assigns_;
   std::vector<int> levels_;
-  std::vector<ClauseData*> reasons_;
+  std::vector<CRef> reasons_;
   std::vector<double> activity_;
   std::vector<bool> polarity_;   // saved phase; next decision uses this sign
   std::vector<std::uint8_t> seen_;
 
-  // Clause storage. Original and learnt clauses are owned here.
-  std::vector<std::unique_ptr<ClauseData>> clauses_;
-  std::vector<std::unique_ptr<ClauseData>> learnts_;
+  // Clause storage: all clauses live in the arena; these lists hold the
+  // references. Learnts are split into three quality tiers (arena.h Tier).
+  ClauseArena arena_;
+  std::vector<CRef> clauses_;
+  std::vector<CRef> learnts_core_;
+  std::vector<CRef> learnts_tier2_;
+  std::vector<CRef> learnts_local_;
   std::int64_t num_original_clauses_ = 0;
 
-  // Watch lists, indexed by literal code: clauses watching ~l.
+  // Watch lists, indexed by literal code: clauses watching ~l. Binary
+  // clauses live in their own lists (`blocker` is the other literal), so
+  // propagation over them never loads the clause body - only a conflict or
+  // an implication touches the arena.
   std::vector<std::vector<Watcher>> watches_;
+  std::vector<std::vector<Watcher>> watches_bin_;
 
   // Assignment trail.
   std::vector<Lit> trail_;
@@ -269,6 +363,8 @@ class Solver {
   static constexpr std::size_t kTrailWindow = 5000;
   static constexpr double kRestartK = 0.8;
   static constexpr double kBlockR = 1.4;
+  std::vector<std::uint32_t> lbd_mark_;   // per-level stamp for compute_lbd
+  std::uint32_t lbd_stamp_ = 0;
   std::vector<unsigned> recent_lbds_;     // ring buffer of last learnt LBDs
   std::size_t recent_lbd_pos_ = 0;
   std::uint64_t recent_lbd_sum_ = 0;
@@ -279,6 +375,23 @@ class Solver {
   // Glucose-style clause DB reduction schedule.
   std::uint64_t next_reduce_conflicts_ = 2000;
   std::uint64_t reduce_rounds_ = 0;
+
+  // Inprocessing schedule and state. The first round waits until the search
+  // has produced a meaningful learnt DB; intervals then double so long runs
+  // see a handful of rounds, not a steady tax.
+  bool inprocess_enabled_ = true;
+  std::uint64_t next_inprocess_conflicts_ = 10000;
+  std::uint64_t inprocess_interval_ = 10000;
+  std::uint64_t inprocess_budget_ = 500'000;
+  /// Variables retired by equivalent-literal substitution. Substituted
+  /// variables stay linked to their representative through two permanent
+  /// "definition binaries" (v -> r, r -> v), so models, assumptions, and
+  /// cores need no reconstruction map; the flag only keeps later rounds
+  /// from re-deriving the same equivalence.
+  std::vector<std::uint8_t> substituted_;
+  /// Literal-code -> representative literal map for substitution rounds
+  /// (identity for untouched literals).
+  std::vector<Lit> subst_map_;
 
   // Budgets (per solve call).
   std::int64_t conflict_budget_ = -1;
@@ -294,6 +407,9 @@ class Solver {
   int exchange_id_ = -1;
   std::uint64_t exchange_seen_ = 0;  // hub generation stamp at last import
   std::vector<Lit> import_scratch_;
+  /// Learnts awaiting batched export; refs into the arena, relocated by GC
+  /// and flushed before any clause deletion.
+  std::vector<CRef> pending_exports_;
 
   std::vector<Lit> assumptions_;
   std::vector<LBool> model_;

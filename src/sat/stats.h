@@ -15,11 +15,16 @@ namespace olsq2::sat {
 /// what is live). Snapshot via Solver::memory_stats(); feeds the metrics
 /// gauges and memory-budget diagnostics.
 struct MemoryStats {
-  std::size_t clause_bytes = 0;  // original clauses (headers + literal arrays)
-  std::size_t learnt_bytes = 0;  // learnt-DB clauses (headers + literal arrays)
+  std::size_t clause_bytes = 0;  // original clauses (arena words + ref vector)
+  std::size_t learnt_bytes = 0;  // learnt-DB clauses (arena words + ref vectors)
   std::size_t watch_bytes = 0;   // watch lists (vector capacities)
+  std::size_t arena_bytes = 0;   // clause-arena capacity (allocator holding)
+  std::size_t arena_wasted_bytes = 0;  // dead arena words awaiting GC
 
-  std::size_t total() const { return clause_bytes + learnt_bytes + watch_bytes; }
+  /// Allocator-level footprint: the arena holds both original and learnt
+  /// clause payloads, so clause_bytes/learnt_bytes are *live* breakdowns of
+  /// arena_bytes, not additional memory.
+  std::size_t total() const { return arena_bytes + watch_bytes; }
 };
 
 struct Stats {
@@ -38,6 +43,11 @@ struct Stats {
   std::uint64_t exported_clauses = 0;  // learnts accepted by the clause exchange
   std::uint64_t imported_clauses = 0;  // foreign learnts adopted from the exchange
   std::uint64_t filtered_exports = 0;  // learnts rejected by the exchange filter
+  std::uint64_t arena_gcs = 0;         // clause-arena compactions
+  std::uint64_t inprocess_rounds = 0;  // inprocessing rounds completed
+  std::uint64_t inprocess_strengthened_lits = 0;  // literals dropped (vivify+SSR)
+  std::uint64_t inprocess_removed_clauses = 0;  // clauses deleted by inprocessing
+  std::uint64_t equiv_vars = 0;        // vars retired by equivalence substitution
 
   /// Delta between two snapshots: `after - before` subtracts every monotone
   /// counter member-wise; max_decision_level keeps the later (lhs) value
@@ -59,6 +69,13 @@ struct Stats {
     d.exported_clauses = exported_clauses - rhs.exported_clauses;
     d.imported_clauses = imported_clauses - rhs.imported_clauses;
     d.filtered_exports = filtered_exports - rhs.filtered_exports;
+    d.arena_gcs = arena_gcs - rhs.arena_gcs;
+    d.inprocess_rounds = inprocess_rounds - rhs.inprocess_rounds;
+    d.inprocess_strengthened_lits =
+        inprocess_strengthened_lits - rhs.inprocess_strengthened_lits;
+    d.inprocess_removed_clauses =
+        inprocess_removed_clauses - rhs.inprocess_removed_clauses;
+    d.equiv_vars = equiv_vars - rhs.equiv_vars;
     return d;
   }
 };

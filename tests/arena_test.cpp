@@ -1,0 +1,228 @@
+// Tests for the bump-allocated clause arena (sat/arena.h): header packing,
+// waste accounting, growth, relocation forwarding, and the solver-level
+// compacting GC with live watchers and reasons in flight.
+#include "sat/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace olsq2::sat {
+namespace {
+
+Lit pos(int v) { return Lit::pos(static_cast<Var>(v)); }
+Lit neg(int v) { return Lit::neg(static_cast<Var>(v)); }
+
+TEST(ArenaTest, AllocReadWriteHeaderFields) {
+  ClauseArena arena;
+  const std::vector<Lit> lits = {pos(0), neg(1), pos(2)};
+  const CRef cr = arena.alloc(lits, /*learnt=*/true, /*lbd=*/5, Tier::kTier2);
+
+  ClauseData& c = arena[cr];
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], pos(0));
+  EXPECT_EQ(c[1], neg(1));
+  EXPECT_EQ(c[2], pos(2));
+  EXPECT_TRUE(c.learnt());
+  EXPECT_FALSE(c.freed());
+  EXPECT_FALSE(c.reloced());
+  EXPECT_EQ(c.lbd(), 5u);
+  EXPECT_EQ(c.tier(), Tier::kTier2);
+  EXPECT_EQ(c.used(), 0u);
+  EXPECT_FLOAT_EQ(c.activity(), 0.0f);
+
+  // Every field is independently writable without clobbering the others.
+  c[0] = neg(7);
+  c.set_lbd(2);
+  c.set_tier(Tier::kCore);
+  c.set_used(3);
+  c.set_activity(1.5f);
+  EXPECT_EQ(c[0], neg(7));
+  EXPECT_EQ(c[1], neg(1));
+  EXPECT_EQ(c.lbd(), 2u);
+  EXPECT_EQ(c.tier(), Tier::kCore);
+  EXPECT_EQ(c.used(), 3u);
+  EXPECT_FLOAT_EQ(c.activity(), 1.5f);
+  EXPECT_TRUE(c.learnt());
+
+  // LBD saturates at its 24-bit field instead of bleeding into flags.
+  c.set_lbd(0xFFFFFFFFu);
+  EXPECT_EQ(c.lbd(), ClauseData::kMaxLbd);
+  EXPECT_TRUE(c.learnt());
+  EXPECT_EQ(c.tier(), Tier::kCore);
+}
+
+TEST(ArenaTest, WasteAccounting) {
+  ClauseArena arena;
+  const std::vector<Lit> a = {pos(0), pos(1)};
+  const std::vector<Lit> b = {pos(0), pos(1), pos(2)};
+  const CRef ra = arena.alloc(a, false, 0, Tier::kCore);
+  const CRef rb = arena.alloc(b, false, 0, Tier::kCore);
+  (void)rb;
+  EXPECT_EQ(arena.live_clauses(), 2u);
+  EXPECT_EQ(arena.wasted_words(), 0u);
+  EXPECT_EQ(arena.size_words(),
+            ClauseArena::clause_words(2) + ClauseArena::clause_words(3));
+
+  arena.free_clause(ra);
+  EXPECT_TRUE(arena[ra].freed());
+  EXPECT_EQ(arena.live_clauses(), 1u);
+  EXPECT_EQ(arena.wasted_words(), ClauseArena::clause_words(2));
+
+  arena.note_shrink(1);  // in-place strengthening dropped one literal
+  EXPECT_EQ(arena.wasted_words(), ClauseArena::clause_words(2) + 1);
+
+  // Tiny arenas never trigger collection even when mostly dead.
+  EXPECT_FALSE(arena.should_collect());
+}
+
+TEST(ArenaTest, ShouldCollectOnceAFifthIsDead) {
+  ClauseArena arena;
+  std::vector<CRef> refs;
+  const std::vector<Lit> lits = {pos(0), pos(1), pos(2), pos(3)};
+  // ~70k words total; free a quarter of the clauses -> > top/5 and > 4096.
+  for (int i = 0; i < 10000; ++i) {
+    refs.push_back(arena.alloc(lits, true, 4, Tier::kLocal));
+  }
+  EXPECT_FALSE(arena.should_collect());
+  for (std::size_t i = 0; i < refs.size(); i += 4) arena.free_clause(refs[i]);
+  EXPECT_TRUE(arena.should_collect());
+}
+
+TEST(ArenaTest, GrowthPreservesContentsAndRefs) {
+  ClauseArena arena;  // default capacity: growth must happen several times
+  std::vector<CRef> refs;
+  std::vector<std::vector<Lit>> expected;
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<Lit> lits;
+    const int size = 2 + (i % 7);
+    for (int k = 0; k < size; ++k) {
+      const int v = (i + k) % 501;
+      lits.push_back((i + k) % 2 == 0 ? pos(v) : neg(v));
+    }
+    refs.push_back(arena.alloc(lits, i % 2 == 0, static_cast<unsigned>(i % 9),
+                               Tier::kLocal));
+    expected.push_back(std::move(lits));
+  }
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const ClauseData& c = arena[refs[i]];
+    ASSERT_EQ(c.size(), expected[i].size()) << "clause " << i;
+    for (std::uint32_t k = 0; k < c.size(); ++k) {
+      EXPECT_EQ(c[k], expected[i][k]) << "clause " << i << " lit " << k;
+    }
+    EXPECT_EQ(c.learnt(), i % 2 == 0);
+    EXPECT_EQ(c.lbd(), static_cast<unsigned>(i % 9));
+  }
+  EXPECT_EQ(arena.live_clauses(), refs.size());
+}
+
+TEST(ArenaTest, RelocForwardsAllOwnersToOneCopy) {
+  ClauseArena from;
+  const std::vector<Lit> lits = {pos(3), neg(4), pos(5)};
+  const CRef original = from.alloc(lits, true, 3, Tier::kCore);
+  from[original].set_activity(2.25f);
+  from[original].set_used(2);
+
+  // Two owners of the same clause (think: watcher and reason slot).
+  CRef owner1 = original;
+  CRef owner2 = original;
+
+  ClauseArena to;
+  from.reloc(owner1, to);
+  EXPECT_TRUE(from[original].reloced());
+  from.reloc(owner2, to);
+  EXPECT_EQ(owner1, owner2) << "forwarding must unify owners";
+  EXPECT_EQ(to.live_clauses(), 1u) << "the clause is copied exactly once";
+
+  const ClauseData& c = to[owner1];
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], pos(3));
+  EXPECT_EQ(c[1], neg(4));
+  EXPECT_EQ(c[2], pos(5));
+  EXPECT_TRUE(c.learnt());
+  EXPECT_EQ(c.lbd(), 3u);
+  EXPECT_EQ(c.used(), 2u);
+  EXPECT_FLOAT_EQ(c.activity(), 2.25f);
+}
+
+// --- solver-level GC -------------------------------------------------------
+
+/// Pigeonhole principle PHP(pigeons, holes): UNSAT when pigeons > holes.
+void add_pigeonhole(Solver& solver, int pigeons, int holes) {
+  std::vector<std::vector<Var>> var(pigeons, std::vector<Var>(holes));
+  for (int i = 0; i < pigeons; ++i) {
+    for (int j = 0; j < holes; ++j) var[i][j] = solver.new_var();
+  }
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < holes; ++j) clause.push_back(Lit::pos(var[i][j]));
+    solver.add_clause(clause);
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i = 0; i < pigeons; ++i) {
+      for (int k = i + 1; k < pigeons; ++k) {
+        solver.add_clause({Lit::neg(var[i][j]), Lit::neg(var[k][j])});
+      }
+    }
+  }
+}
+
+TEST(SolverGcTest, SolveWithContinuousAuditsAndReductions) {
+  // PHP(7,6) forces thousands of conflicts: reduce_db deletions and
+  // inprocessing rewrites accumulate arena waste, and the in-solve GC
+  // trigger runs with watchers and reason clauses live. The continuous
+  // audit walks every watch list, the tier lists, and the arena accounting
+  // after each restart, so a GC that loses or double-books a reference
+  // fails here deterministically.
+  Solver solver;
+  solver.set_check_invariants(true);
+  add_pigeonhole(solver, 7, 6);
+  EXPECT_EQ(solver.solve(), LBool::kFalse);
+  EXPECT_TRUE(solver.check_invariants());
+}
+
+TEST(SolverGcTest, ExplicitCollectionKeepsSolverUsable) {
+  Solver solver;
+  solver.set_check_invariants(true);
+  add_pigeonhole(solver, 6, 6);  // SAT: 6 pigeons fit 6 holes
+  ASSERT_EQ(solver.solve(), LBool::kTrue);
+
+  // Force a full compaction at a quiescent point, then keep using the
+  // solver: incremental adds, assumption solving, and model queries must
+  // all survive the relocation.
+  solver.garbage_collect();
+  std::vector<std::string> errors;
+  EXPECT_TRUE(solver.check_invariants(&errors))
+      << (errors.empty() ? "" : errors.front());
+
+  const Var extra = solver.new_var();
+  solver.add_clause({Lit::pos(extra)});
+  ASSERT_EQ(solver.solve(), LBool::kTrue);
+  EXPECT_EQ(solver.model_value(extra), LBool::kTrue);
+
+  const std::vector<Lit> assume = {Lit::neg(extra)};
+  EXPECT_EQ(solver.solve(assume), LBool::kFalse);
+  EXPECT_EQ(solver.solve(), LBool::kTrue);
+}
+
+TEST(SolverGcTest, MemoryStatsReportArenaReality) {
+  Solver solver;
+  add_pigeonhole(solver, 6, 5);
+  const MemoryStats before = solver.memory_stats();
+  EXPECT_GT(before.arena_bytes, 0u);
+  EXPECT_GT(before.clause_bytes, 0u);
+  ASSERT_EQ(solver.solve(), LBool::kFalse);
+  // After an UNSAT solve the arena accumulated learnt clauses and waste;
+  // a collection compacts the dead weight away.
+  solver.garbage_collect();
+  const MemoryStats after = solver.memory_stats();
+  EXPECT_EQ(after.arena_wasted_bytes, 0u);
+  EXPECT_GT(after.arena_bytes, 0u);
+  EXPECT_EQ(after.total(), after.arena_bytes + after.watch_bytes);
+}
+
+}  // namespace
+}  // namespace olsq2::sat

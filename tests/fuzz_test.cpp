@@ -285,7 +285,11 @@ TEST(FuzzEndToEnd, CleanLibraryPassesShortRun) {
   }
   EXPECT_TRUE(report.ok());
   EXPECT_EQ(report.iterations, 8);
-  EXPECT_EQ(report.instance_checks + report.sat_core_checks, 8);
+  EXPECT_EQ(report.instance_checks + report.sat_core_checks +
+                report.inprocess_checks,
+            8);
+  EXPECT_EQ(report.inprocess_checks, 1) << "iteration 7 runs the on/off "
+                                           "inprocessing differential";
 }
 
 TEST(FuzzEndToEnd, InjectedEncodingBugCaughtAndReduced) {
