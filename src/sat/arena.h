@@ -24,6 +24,7 @@
 // confined to its solving thread; no atomics, no locks (DESIGN.md §12).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -67,6 +68,10 @@ class ClauseData {
   std::span<const Lit> literals() const { return {lits(), size_}; }
 
   bool learnt() const { return (info_ & kLearntBit) != 0; }
+  /// Promote to irredundant: a learnt clause that replaces an original
+  /// (e.g. by subsuming it) must survive reduce_db, so it sheds the learnt
+  /// flag and moves to the solver's original-clause list.
+  void clear_learnt() { info_ &= ~kLearntBit; }
   bool freed() const { return (info_ & kFreedBit) != 0; }
   bool reloced() const { return (info_ & kRelocedBit) != 0; }
 

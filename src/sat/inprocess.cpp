@@ -63,11 +63,19 @@ bool Solver::assert_root_unit(Lit l) {
     if (proof_ != nullptr) proof_->add({});
     return false;
   }
+  const std::size_t trail_before = trail_.size();
   enqueue(l, kCRefUndef);
   if (propagate() != kCRefUndef) {
     ok_ = false;
     if (proof_ != nullptr) proof_->add({});
     return false;
+  }
+  // propagate() installed clause reasons for the literals it derived; a
+  // later rewrite in the same round may free those clauses, so mirror the
+  // reason clearing done at inprocess() entry (nothing ever inspects a
+  // level-0 reason).
+  for (std::size_t i = trail_before; i < trail_.size(); ++i) {
+    reasons_[trail_[i].var()] = kCRefUndef;
   }
   return true;
 }
@@ -336,11 +344,13 @@ bool Solver::inprocess_equiv(std::uint64_t& ticks) {
       if (proof_ != nullptr) proof_->add(img);
       if (img.empty()) {
         ok_ = false;
+        if (!learnt) num_original_clauses_--;
         drop_clause(cr);
         compact();
         return false;
       }
       if (img.size() == 1) {
+        if (!learnt) num_original_clauses_--;
         drop_clause(cr);
         stats_.inprocess_strengthened_lits += old_size - 1;
         if (!assert_root_unit(img[0])) {
@@ -375,12 +385,23 @@ bool Solver::inprocess_equiv(std::uint64_t& ticks) {
 
 bool Solver::inprocess_subsume(std::uint64_t& ticks) {
   assert(decision_level() == 0);
+  // Besides dropping freed refs, migrate clauses promoted to irredundant
+  // mid-pass (a learnt subsumer that replaced an original keeps its tier
+  // slot until here so Entry slots stay stable) into clauses_.
   const auto compact = [this] {
-    for (auto* list :
-         {&clauses_, &learnts_core_, &learnts_tier2_, &learnts_local_}) {
-      std::erase_if(*list,
-                    [this](CRef cr) { return arena_[cr].freed(); });
+    for (auto* list : {&learnts_core_, &learnts_tier2_, &learnts_local_}) {
+      std::erase_if(*list, [this](CRef cr) {
+        const ClauseData& c = arena_[cr];
+        if (c.freed()) return true;
+        if (!c.learnt()) {
+          clauses_.push_back(cr);
+          return true;
+        }
+        return false;
+      });
     }
+    std::erase_if(clauses_,
+                  [this](CRef cr) { return arena_[cr].freed(); });
   };
 
   // Flat index of every live clause plus occurrence lists. Entries track
@@ -473,7 +494,20 @@ bool Solver::inprocess_subsume(std::uint64_t& ticks) {
         }
         if (!fits) continue;
         if (flip.is_undef()) {
-          // sub subsumes d outright.
+          // sub subsumes d outright. When d is irredundant, the formula's
+          // strength now rests on sub alone, so a learnt sub is promoted to
+          // irredundant first - otherwise a later reduce_db() could evict
+          // it and leave the formula weaker than the input. The promoted
+          // clause keeps its tier slot until compact() moves it to clauses_.
+          if (!arena_[de.cr].learnt()) {
+            ClauseData& s = arena_[entries[ci].cr];
+            if (s.learnt()) {
+              s.clear_learnt();
+              s.set_tier(Tier::kCore);
+              num_original_clauses_++;
+            }
+            num_original_clauses_--;
+          }
           drop_clause(de.cr);
           stats_.inprocess_removed_clauses++;
           continue;
@@ -514,6 +548,7 @@ bool Solver::inprocess_subsume(std::uint64_t& ticks) {
           break;
         }
         if (result.size() == 1) {
+          if (!learnt) num_original_clauses_--;
           drop_clause(de.cr);
           stats_.inprocess_strengthened_lits += old_size - 1;
           if (!assert_root_unit(result[0])) break;
@@ -666,11 +701,13 @@ bool Solver::inprocess_vivify(std::uint64_t& ticks) {
       if (proof_ != nullptr) proof_->add(result);
       if (result.empty()) {
         ok_ = false;
+        if (!learnt) num_original_clauses_--;
         remove_old();
         compact();
         return false;
       }
       if (result.size() == 1) {
+        if (!learnt) num_original_clauses_--;
         remove_old();
         stats_.inprocess_strengthened_lits += old_size - 1;
         if (!assert_root_unit(result[0])) {

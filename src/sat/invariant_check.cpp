@@ -26,7 +26,8 @@
 //   Tiers / arena
 //     D1  each clause ref appears in exactly one list; originals are
 //         non-learnt, learnts carry the learnt flag and a tier field that
-//         matches their containing tier list;
+//         matches their containing tier list; num_original_clauses_ equals
+//         the originals list size (inprocessing accounting);
 //     D2  no live ref is freed or forwarded, and the arena's accounting
 //         balances: live words + wasted words == bump pointer.
 #include <algorithm>
@@ -112,6 +113,11 @@ bool Solver::check_invariants(std::vector<std::string>* errors) const {
     fail("D2: arena live-clause count " +
          std::to_string(arena_.live_clauses()) + " != listed clauses " +
          std::to_string(live.size()));
+  }
+  if (num_original_clauses_ != static_cast<std::int64_t>(clauses_.size())) {
+    fail("D1: num_original_clauses_ " + std::to_string(num_original_clauses_) +
+         " != originals list size " + std::to_string(clauses_.size()) +
+         " (inprocessing drop/promotion accounting drifted)");
   }
 
   // One pass over the watch lists: W1/W3 per watcher, and an index of

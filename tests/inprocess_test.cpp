@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sat/drat_check.h"
+#include "sat/exchange.h"
 #include "sat/proof.h"
 #include "sat/solver.h"
 
@@ -208,6 +209,72 @@ TEST(InprocessTest, DisabledBySetterMeansNoRounds) {
   add_pigeonhole(solver, 6, 5);
   EXPECT_EQ(solver.solve(), LBool::kFalse);
   EXPECT_EQ(solver.stats().inprocess_rounds, 0u);
+}
+
+TEST(InprocessTest, LearntSubsumerOfOriginalIsPromoted) {
+  // A learnt clause (implanted through the exchange with a high LBD, so it
+  // lands in the evictable local tier) subsumes an original outright. The
+  // subsumer must be promoted to irredundant when the original is deleted:
+  // were it left learnt, a later reduce_db() could evict it and the solver
+  // could return models violating the deleted original.
+  ClauseExchange::Options opts;
+  opts.max_lbd = 10;
+  ClauseExchange hub(opts);
+  const int feeder = hub.add_solver("g");
+  Solver solver;
+  solver.set_clause_log(true);
+  solver.set_exchange(&hub, "g");
+  for (int i = 0; i < 9; ++i) solver.new_var();
+  std::vector<Lit> wide;
+  for (int i = 0; i < 9; ++i) wide.push_back(pos(i));
+  solver.add_clause(wide);
+  const std::vector<Lit> sub(wide.begin(), wide.end() - 1);
+  ASSERT_TRUE(hub.publish(feeder, sub, /*lbd=*/8));
+
+  ASSERT_EQ(solver.solve(), LBool::kTrue);  // imports the learnt at entry
+  ASSERT_EQ(solver.learnt_tiers().local, 1u);
+
+  ASSERT_TRUE(solver.inprocess());
+  EXPECT_GE(solver.stats().inprocess_removed_clauses, 1u);
+  // The subsumer replaced the original: it is irredundant now, not learnt.
+  EXPECT_EQ(solver.num_clauses(), 1);
+  EXPECT_EQ(solver.num_learnts(), 0);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(solver.check_invariants(&errors))
+      << (errors.empty() ? "" : errors.front());
+
+  ASSERT_EQ(solver.solve(), LBool::kTrue);
+  EXPECT_TRUE(model_satisfies_log(solver));
+  bool sub_satisfied = false;
+  for (const Lit l : sub) sub_satisfied = sub_satisfied || solver.model_bool(l);
+  EXPECT_TRUE(sub_satisfied);
+}
+
+TEST(InprocessTest, OriginalClauseAccountingTracksUnitCollapse) {
+  // x1 <-> ~x0 and x2 <-> ~x0 via binary cycles; (~x0 | x1 | x2) collapses
+  // to the unit ~x0 under the substitution. The dropped original must be
+  // deducted from num_clauses() while the four definition binaries are
+  // added: 5 inputs + 4 definitions - 1 collapsed = 8.
+  Solver solver;
+  solver.set_clause_log(true);
+  for (int i = 0; i < 3; ++i) solver.new_var();
+  solver.add_clause({pos(0), pos(1)});
+  solver.add_clause({neg(0), neg(1)});
+  solver.add_clause({pos(0), pos(2)});
+  solver.add_clause({neg(0), neg(2)});
+  solver.add_clause({neg(0), pos(1), pos(2)});
+  ASSERT_EQ(solver.num_clauses(), 5);
+
+  ASSERT_TRUE(solver.inprocess());
+  EXPECT_GE(solver.stats().equiv_vars, 2u);
+  EXPECT_EQ(solver.num_clauses(), 8);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(solver.check_invariants(&errors))
+      << (errors.empty() ? "" : errors.front());
+
+  ASSERT_EQ(solver.solve(), LBool::kTrue);
+  EXPECT_TRUE(model_satisfies_log(solver));
+  EXPECT_EQ(solver.model_value(static_cast<Var>(0)), LBool::kFalse);
 }
 
 TEST(InprocessTest, IncrementalSolvesAfterInprocessing) {
