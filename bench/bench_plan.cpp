@@ -1,0 +1,137 @@
+// Planning-engine acceptance benchmark: the optimal A* search (src/plan)
+// vs TB-OLSQ2 on the shallow/sparse instances the planning literature
+// targets (arxiv 2304.12014 reports classical planners winning exactly
+// there). Emits BENCH_plan.json for the benchdiff regression gate
+// (bench/baselines/BENCH_plan.json is the pinned floor): per case the
+// certified SWAP counts must agree ("solved" encodes solved-and-agree, a
+// correctness key), and per-engine wall times plus the plan search's node
+// and transposition-table counters are tracked as timing/info keys.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "bengen/workloads.h"
+#include "device/presets.h"
+#include "layout/tb.h"
+#include "plan/plan.h"
+
+namespace {
+
+using namespace olsq2;
+
+struct Case {
+  std::string name;
+  circuit::Circuit circuit;
+  device::Device device;
+  int swap_duration = 1;
+};
+
+std::vector<Case> cases() {
+  std::vector<Case> out;
+  // Shallow: every gate's operands are needed almost immediately, so the
+  // frontier stays small and the planner's eager closure shines.
+  out.push_back({"ghz6/line6", bengen::ghz(6), device::grid(1, 6), 1});
+  out.push_back({"ghz6/heavyhex2x3", bengen::ghz(6), device::heavy_hex(2, 3), 1});
+  out.push_back({"bv5/line6", bengen::bernstein_vazirani(5, 0b10110),
+                 device::grid(1, 6), 1});
+  // Sparse interaction graphs on small grids: a few SWAPs, wide plateaus.
+  out.push_back({"ising5/line5", bengen::ising(5, 1), device::grid(1, 5), 1});
+  out.push_back({"qaoa4/grid2x2", bengen::qaoa_3regular(4, 7),
+                 device::grid(2, 2), 1});
+  out.push_back({"qft4/line4", bengen::qft(4), device::grid(1, 4), 1});
+  return out;
+}
+
+struct Row {
+  std::string name;
+  bool solved = false;  // both engines finished AND certified the same optimum
+  int plan_swaps = -1;
+  int tb_swaps = -1;
+  double plan_ms = 0.0;
+  double tb_ms = 0.0;
+  std::int64_t expanded = 0;
+  std::int64_t tt_hits = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  double budget_ms = bench::case_budget_ms();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--budget-ms=", 0) == 0) {
+      budget_ms = std::atof(arg.c_str() + 12);
+    } else {
+      std::cerr << "usage: bench_plan [--out=FILE] [--budget-ms=N]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  bench::Table table({"case", "plan_swaps", "tb_swaps", "plan_ms", "tb_ms",
+                      "expanded", "tt_hits"});
+  for (Case& c : cases()) {
+    Row row;
+    row.name = c.name;
+    const layout::Problem problem{&c.circuit, &c.device, c.swap_duration};
+
+    plan::PlanOptions popt;
+    popt.time_budget_ms = budget_ms;
+    const plan::PlanResult planned = plan::synthesize(problem, popt);
+    row.plan_ms = planned.wall_ms;
+    row.expanded = planned.nodes_expanded;
+    row.tt_hits = planned.tt_hits;
+    if (planned.solved) row.plan_swaps = planned.swap_count;
+
+    layout::OptimizerOptions options;
+    options.time_budget_ms = budget_ms;
+    const double tb_start = bench::now_ms();
+    const layout::Result tb =
+        layout::tb_synthesize_swap_optimal(problem, {}, options);
+    row.tb_ms = bench::now_ms() - tb_start;
+    if (tb.solved) row.tb_swaps = tb.swap_count;
+
+    row.solved = planned.solved && planned.optimal && tb.solved &&
+                 !tb.hit_budget && planned.swap_count == tb.swap_count;
+    table.print_row({row.name, std::to_string(row.plan_swaps),
+                     std::to_string(row.tb_swaps),
+                     std::to_string(row.plan_ms).substr(0, 7),
+                     std::to_string(row.tb_ms).substr(0, 7),
+                     std::to_string(row.expanded),
+                     std::to_string(row.tt_hits)});
+    rows.push_back(row);
+  }
+
+  bool all_agree = true;
+  for (const Row& row : rows) all_agree = all_agree && row.solved;
+  if (!all_agree) {
+    std::cerr << "bench_plan: plan/TB disagreement or budget expiry\n";
+  }
+
+  if (!out_path.empty()) {
+    std::ostringstream json;
+    json << "{" << bench::json_stamp("plan")
+         << "\"budget_ms\":" << budget_ms << ",\"cases\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      if (i > 0) json << ",";
+      json << "{\"name\":\"" << row.name << "\""
+           << ",\"solved\":" << (row.solved ? "true" : "false")
+           << ",\"swap_count\":" << row.plan_swaps
+           << ",\"plan_ms\":" << row.plan_ms << ",\"tb_ms\":" << row.tb_ms
+           << ",\"nodes_expanded\":" << row.expanded
+           << ",\"tt_hits\":" << row.tt_hits << "}";
+    }
+    json << "]}\n";
+    std::ofstream out(out_path);
+    out << json.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return all_agree ? 0 : 1;
+}

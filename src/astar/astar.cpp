@@ -92,6 +92,7 @@ class Router {
     }
     result.final_mapping = mapping;
     result.depth = compute_depth(result.routed);
+    result.optimal = result.greedy_fallbacks == 0;
     return result;
   }
 

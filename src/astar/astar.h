@@ -33,6 +33,13 @@ struct AstarResult {
   circuit::Circuit routed;  // physical-qubit circuit with "swap" gates
   /// Layers that exceeded max_expansions and used the greedy fallback.
   int greedy_fallbacks = 0;
+  /// True iff no layer fell back to the greedy walk, i.e. every inserted
+  /// SWAP sequence was certified minimal *for its layer*. Even then the
+  /// total is only an upper bound on the global optimum (greedy
+  /// partitioning); with greedy_fallbacks > 0 not even the per-layer
+  /// counts are minimal, so differential oracles must treat the result as
+  /// an upper bound only - never as a reference optimum.
+  bool optimal = false;
 };
 
 AstarResult route(const layout::Problem& problem, const AstarOptions& options = {});

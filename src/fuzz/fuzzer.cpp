@@ -27,6 +27,14 @@ FailurePredicate predicate_for(const std::string& oracle,
   if (oracle == "engine_differential") {
     return [](const Instance& c) { return !check_engine_differential(c).ok; };
   }
+  if (oracle == "cache") {
+    return [instance_seed](const Instance& c) {
+      return !check_cache(c, instance_seed).ok;
+    };
+  }
+  if (oracle == "plan") {
+    return [](const Instance& c) { return !check_plan(c).ok; };
+  }
   return [instance_seed](const Instance& c) {
     return !check_metamorphic(c, instance_seed).ok;
   };

@@ -16,6 +16,10 @@
 //                       (OLSQ2_FUZZ_INJECT_VIVIFY_BUG, an unjustified
 //                       literal drop) and require the inprocessing on/off
 //                       differential oracle to catch it
+//     --inject-plan-bug self-test: enable the deliberate planning-heuristic
+//                       bug (OLSQ2_FUZZ_INJECT_PLAN_BUG, a +1 overestimate
+//                       that breaks admissibility) and require the plan/SAT
+//                       differential oracle to catch it
 //
 // Both `--flag value` and `--flag=value` spellings are accepted. At least
 // one of --seconds/--iterations must be given (except with --inject-bug,
@@ -37,7 +41,8 @@ using namespace olsq2;
   std::cerr << "olsq2_fuzz: " << message << "\n"
             << "usage: olsq2_fuzz [--seed N] [--seconds S] [--iterations K]\n"
             << "                  [--out DIR] [--no-reduce] [--stop-on-failure]\n"
-            << "                  [--verbose] [--inject-bug] [--inject-sat-bug]\n";
+            << "                  [--verbose] [--inject-bug] [--inject-sat-bug]\n"
+            << "                  [--inject-plan-bug]\n";
   std::exit(2);
 }
 
@@ -129,6 +134,44 @@ int run_inject_sat_bug_selftest(const fuzz::FuzzOptions& options) {
   return 0;
 }
 
+int run_inject_plan_bug_selftest(const fuzz::FuzzOptions& options) {
+  // The armed heuristic adds +1 whenever the true estimate is nonzero, so
+  // A* typically certifies optimum+1 on instances whose real optimum is
+  // >= 1, and check_plan flags the certified count exceeding TB-OLSQ2's.
+  // Zero-swap instances are unaffected (some root reaches the goal with
+  // h = 0, so the bug never fires on the certifying path); sweep the seed
+  // stream until an instance that needs swaps comes along.
+  setenv("OLSQ2_FUZZ_INJECT_PLAN_BUG", "1", /*overwrite=*/1);
+  const int iterations = options.iterations > 0 ? options.iterations : 200;
+  int caught_at = -1;
+  std::vector<std::string> errors;
+  for (int i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = fuzz::derive_seed(options.seed, i);
+    const fuzz::Instance instance = fuzz::random_instance(seed, options.gen);
+    const fuzz::OracleReport result = fuzz::check_plan(instance);
+    if (options.verbose) {
+      std::cerr << "[fuzz] iter=" << i << " seed=" << seed
+                << " oracle=plan ok=" << (result.ok ? 1 : 0) << "\n";
+    }
+    if (!result.ok) {
+      caught_at = i;
+      errors = result.errors;
+      break;
+    }
+  }
+  unsetenv("OLSQ2_FUZZ_INJECT_PLAN_BUG");
+
+  if (caught_at < 0) {
+    std::cerr << "olsq2_fuzz: injected planning-heuristic bug was NOT caught "
+              << "in " << iterations << " iterations\n";
+    return 1;
+  }
+  std::cout << "inject-plan-bug self-test passed: caught at iteration "
+            << caught_at << "\n";
+  for (const std::string& e : errors) std::cout << "  " << e << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,6 +179,7 @@ int main(int argc, char** argv) {
   fuzz::FuzzOptions options;
   bool inject_bug = false;
   bool inject_sat_bug = false;
+  bool inject_plan_bug = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string value;
@@ -157,6 +201,8 @@ int main(int argc, char** argv) {
       inject_bug = true;
     } else if (args[i] == "--inject-sat-bug") {
       inject_sat_bug = true;
+    } else if (args[i] == "--inject-plan-bug") {
+      inject_plan_bug = true;
     } else {
       usage_error("unknown argument: " + args[i]);
     }
@@ -164,6 +210,7 @@ int main(int argc, char** argv) {
 
   if (inject_bug) return run_inject_bug_selftest(options);
   if (inject_sat_bug) return run_inject_sat_bug_selftest(options);
+  if (inject_plan_bug) return run_inject_plan_bug_selftest(options);
 
   if (options.seconds <= 0.0 && options.iterations <= 0) {
     usage_error("need --seconds or --iterations");

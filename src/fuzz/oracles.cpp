@@ -1,5 +1,6 @@
 #include "fuzz/oracles.h"
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,7 @@
 #include "layout/olsq2.h"
 #include "layout/tb.h"
 #include "layout/verifier.h"
+#include "plan/plan.h"
 #include "sabre/sabre.h"
 #include "sat/drat_check.h"
 #include "sat/proof.h"
@@ -478,6 +480,109 @@ OracleReport check_cache(const Instance& instance, std::uint64_t seed) {
   return report;
 }
 
+OracleReport check_plan(const Instance& instance) {
+  OracleReport report;
+  report.oracle = "plan";
+  const layout::Problem problem = instance.problem();
+
+  plan::PlanOptions popt;
+  popt.time_budget_ms = kBudgetMs;
+  const plan::PlanResult planned = plan::synthesize(problem, popt);
+  if (!planned.solved) {
+    report.fail(describe(instance) + ": plan: search failed" +
+                (planned.hit_budget ? " (budget)" : ""));
+    return report;
+  }
+  check_verified(report, problem, planned.layout, describe(instance) + ": plan");
+  if (planned.layout.swap_count != planned.swap_count) {
+    report.fail(describe(instance) +
+                ": plan: layout swap count disagrees with the search (" +
+                std::to_string(planned.layout.swap_count) + " vs " +
+                std::to_string(planned.swap_count) + ")");
+  }
+
+  layout::OptimizerOptions options;
+  options.time_budget_ms = kBudgetMs;
+  const layout::Result tb =
+      layout::tb_synthesize_swap_optimal(problem, {}, options);
+  if (!tb.solved) {
+    report.fail(describe(instance) + ": plan: TB reference failed" +
+                (tb.hit_budget ? " (budget)" : ""));
+    return report;
+  }
+
+  if (planned.optimal && planned.swap_count > tb.swap_count) {
+    // TB found a valid (verified elsewhere) solution cheaper than what the
+    // plan engine certified minimal: the certificate is wrong, i.e. the
+    // heuristic overestimated or the search closed too early.
+    report.fail(describe(instance) + ": plan: certified optimum " +
+                std::to_string(planned.swap_count) +
+                " exceeds TB-OLSQ2's swap count " +
+                std::to_string(tb.swap_count) +
+                " (inadmissible heuristic or unsound search)");
+  }
+  if (report.ok && planned.swap_count < tb.swap_count) {
+    // A machine-verified solution beat the SAT descent. TB's descent stops
+    // at the first block relaxation that brings no SWAP improvement, so a
+    // plateau-then-drop objective curve makes this legal - but then the
+    // encoding itself must agree the cheaper solution exists. Arbitrate
+    // with one fixed solve at the plan's bound: the plan solution uses one
+    // block per SWAP, so swap_count+1 blocks suffice.
+    const layout::Result arbiter = layout::tb_solve_fixed(
+        problem, planned.swap_count + 1, planned.swap_count, {}, kBudgetMs);
+    if (arbiter.hit_budget) {
+      report.fail(describe(instance) + ": plan: arbitration solve at bound " +
+                  std::to_string(planned.swap_count) + " blew the budget");
+    } else if (!arbiter.solved) {
+      report.fail(describe(instance) + ": plan: SAT encoding refuted: " +
+                  "verified plan solution with " +
+                  std::to_string(planned.swap_count) +
+                  " swaps, but tb_solve_fixed says UNSAT at that bound (TB "
+                  "optimum was " +
+                  std::to_string(tb.swap_count) + ")");
+    }
+    // SAT: TB's patience rule stopped early on a plateau; not a bug.
+  }
+
+  // Heuristic engines bound the certified optimum from above. A* results
+  // with greedy fallbacks are still upper bounds (astar.h), so this holds
+  // unconditionally.
+  if (planned.optimal) {
+    const sabre::SabreResult heuristic = sabre::route(problem);
+    if (planned.swap_count > heuristic.swap_count) {
+      report.fail(describe(instance) + ": plan: certified optimum " +
+                  std::to_string(planned.swap_count) + " exceeds SABRE's " +
+                  std::to_string(heuristic.swap_count));
+    }
+    const astar::AstarResult routed = astar::route(problem);
+    if (planned.swap_count > routed.swap_count) {
+      report.fail(describe(instance) + ": plan: certified optimum " +
+                  std::to_string(planned.swap_count) + " exceeds A*'s " +
+                  std::to_string(routed.swap_count) +
+                  (routed.optimal ? "" : " (upper bound only)"));
+    }
+  }
+
+  // Budget-starved run: anytime incumbents must stay sound upper bounds
+  // and must never claim certification.
+  plan::PlanOptions starved;
+  starved.max_expansions = 16;
+  starved.time_budget_ms = kBudgetMs;
+  const plan::PlanResult bounded = plan::synthesize(problem, starved);
+  if (bounded.solved) {
+    check_verified(report, problem, bounded.layout,
+                   describe(instance) + ": plan (starved)");
+    const int optimum = std::min(planned.swap_count, tb.swap_count);
+    if (bounded.swap_count < optimum) {
+      report.fail(describe(instance) + ": plan: budget-starved run claims " +
+                  std::to_string(bounded.swap_count) +
+                  " swaps, below the certified optimum " +
+                  std::to_string(optimum));
+    }
+  }
+  return report;
+}
+
 OracleReport check_instance(const Instance& instance, std::uint64_t seed) {
   OracleReport report = check_encoding_differential(instance);
   if (!report.ok) return report;
@@ -485,7 +590,9 @@ OracleReport check_instance(const Instance& instance, std::uint64_t seed) {
   if (!report.ok) return report;
   report = check_metamorphic(instance, seed);
   if (!report.ok) return report;
-  return check_cache(instance, seed);
+  report = check_cache(instance, seed);
+  if (!report.ok) return report;
+  return check_plan(instance);
 }
 
 }  // namespace olsq2::fuzz

@@ -55,9 +55,24 @@ OracleReport check_inprocess(std::uint64_t seed);
 /// layout::verify against the *variant* problem, and (3) warm (cache-hit)
 /// objectives agree with a cold solve of the same variant.
 OracleReport check_cache(const Instance& instance, std::uint64_t seed);
+/// Planning-engine differential: the optimal A* search (src/plan) is the
+/// only engine that certifies SWAP optimality without sharing any encoding
+/// code with the SAT stack, which makes the comparison a two-way refutation:
+///   - certified plan optimum ABOVE TB-OLSQ2's swap optimum = inadmissible
+///     heuristic or broken search (this is what OLSQ2_FUZZ_INJECT_PLAN_BUG
+///     plants and --inject-plan-bug proves we catch);
+///   - a *verified* plan solution BELOW TB's count is arbitrated with one
+///     extra SAT call (tb_solve_fixed at the plan's bound): SAT means TB's
+///     patience rule stopped early (legal - its descent terminates on the
+///     first no-improvement block relaxation), UNSAT refutes the SAT
+///     encoding itself, since a machine-verified cheaper solution exists.
+/// Also checks plan results against the TB verifier, the heuristic engines'
+/// upper bounds, and that a budget-starved plan run still returns a sound
+/// upper bound (never below the certified optimum).
+OracleReport check_plan(const Instance& instance);
 
 /// All instance-level oracles in sequence (encoding, engine, metamorphic,
-/// cache); stops at the first failing report. This is the reducer's
+/// cache, plan); stops at the first failing report. This is the reducer's
 /// predicate.
 OracleReport check_instance(const Instance& instance, std::uint64_t seed);
 

@@ -483,6 +483,10 @@ bool parallel_swap_descent(ProbeSet& probes, int depth_bound, Result& best,
                            const BudgetClock& clock, Result& diag,
                            int num_probes) {
   const FactHub facts{options.exchange};
+  // First round only: probe the externally-supplied SWAP upper bound as an
+  // extra ladder rung (see OptimizerOptions::swap_upper_hint). Monotone
+  // reconciliation absorbs either answer, so any hint value is sound.
+  bool hint_pending = options.swap_upper_hint >= 0;
   while (best.swap_count > 0) {
     if (clock.expired() || diag.hit_budget) return false;
     const int incumbent = best.swap_count;
@@ -491,6 +495,10 @@ bool parallel_swap_descent(ProbeSet& probes, int depth_bound, Result& best,
       return true;  // the incumbent is optimal at this depth
     }
     std::vector<std::pair<int, int>> candidates;
+    if (hint_pending && options.swap_upper_hint < incumbent - 1) {
+      candidates.emplace_back(depth_bound, options.swap_upper_hint);
+    }
+    hint_pending = false;
     for (int k = incumbent - 1;
          k >= 0 && static_cast<int>(candidates.size()) < num_probes; --k) {
       candidates.emplace_back(depth_bound, k);
@@ -623,21 +631,31 @@ Result synthesize_swap_optimal(const Problem& problem,
     obs::Span sweep_span("olsq2.swap_sweep");
     sweep_span.arg("depth_bound", depth_bound);
     int incumbent = best.swap_count;
+    // One jump probe per depth sweep at the externally-supplied upper
+    // bound (e.g. the planning engine's incumbent): SAT teleports the
+    // descent, UNSAT is a true (depth, hint) fact and the classic
+    // decrement resumes - sound for arbitrary hint values.
+    bool try_hint = options.swap_upper_hint >= 0;
     while (incumbent > 0) {
       if (clock.expired()) break;
-      if (facts.swap_known_unsat(depth_bound, incumbent - 1)) {
+      const bool jump = try_hint && options.swap_upper_hint < incumbent - 1;
+      const int target = jump ? options.swap_upper_hint : incumbent - 1;
+      try_hint = false;
+      if (facts.swap_known_unsat(depth_bound, target)) {
         // A peer proved (depth <= d, swaps <= k) empty; our query is a
         // subset of that region.
-        record_pruned(diag, depth_bound, incumbent - 1, facts);
+        record_pruned(diag, depth_bound, target, facts);
+        if (jump) continue;  // hint region empty here; classic descent
         break;
       }
       const std::vector<Lit> assumptions = {
           model->depth_bound(depth_bound),
-          model->swap_bound(incumbent - 1)};
+          model->swap_bound(target)};
       const sat::LBool status = solve_step(*model, assumptions, depth_bound,
-                                           incumbent - 1, clock, diag);
+                                           target, clock, diag);
       if (status == sat::LBool::kFalse) {
-        facts.note_swap_unsat(depth_bound, incumbent - 1);
+        facts.note_swap_unsat(depth_bound, target);
+        if (jump) continue;  // failed jump: resume the one-by-one descent
       }
       if (status != sat::LBool::kTrue) break;
       Result candidate = model->extract();
@@ -646,7 +664,7 @@ Result synthesize_swap_optimal(const Problem& problem,
            candidate.depth < best.depth)) {
         best = candidate;
       }
-      incumbent = std::min(incumbent - 1, candidate.swap_count);
+      incumbent = std::min(target, candidate.swap_count);
     }
     pareto.emplace_back(depth_bound, best.swap_count);
 

@@ -1,0 +1,57 @@
+// Admissible remaining-SWAP lower bounds and the greedy anytime
+// upper-bounder for the planning engine (DESIGN.md §13).
+#pragma once
+
+#include <vector>
+
+#include "plan/space.h"
+
+namespace olsq2::plan {
+
+/// Lower bound on the SWAPs still needed from a state. It is the max of
+/// two admissible estimates (proofs in DESIGN.md §13, exercised by
+/// plan_admissibility_test):
+///
+///  * max-slack: every pending two-qubit gate g=(a,b) needs at least
+///    dist(map[a],map[b])-1 SWAPs, because a single SWAP changes the
+///    distance between any fixed pair of program qubits by at most one and
+///    g executes only at distance 1.
+///
+///  * frontier-sum: the front gates (next on both operands) are pairwise
+///    qubit-disjoint, so one SWAP touches at most two of them and lowers
+///    the sum of their slacks by at most 2 - every plan from here spends
+///    at least ceil(sum/2) SWAPs (a SABRE-style lookahead made admissible
+///    by restricting it to the disjoint frontier).
+///
+/// Returns kUnreachable when some pending gate's operands lie in different
+/// device components.
+class Heuristic {
+ public:
+  static constexpr int kUnreachable = 1 << 28;
+
+  /// Reads OLSQ2_FUZZ_INJECT_PLAN_BUG once at construction: when armed,
+  /// every nonzero estimate is inflated by +1 (inadmissible), which makes
+  /// the engine claim "optimal" for suboptimal plans - the fault the
+  /// check_plan oracle must catch (fuzz_injected_plan_bug ctest).
+  explicit Heuristic(const Space& space);
+
+  int operator()(const Space::State& s) const;
+
+  bool bug_armed() const { return inject_bug_; }
+
+ private:
+  const Space* space_;
+  bool inject_bug_ = false;
+};
+
+/// Complete `state` greedily: repeatedly walk one operand of a minimum
+/// slack front gate one step along a shortest path (the same fallback rule
+/// as astar's greedy layer router), executing the closure after every
+/// SWAP. Appends the SWAP edge indices to `swap_edges` and returns the
+/// number of SWAPs added, or -1 if some pending gate is unreachable.
+/// This is the anytime upper bound: it seeds the A*/IDA* incumbent and is
+/// re-run from promising nodes to tighten it during search.
+int greedy_completion(const Space& space, Space::State state,
+                      std::vector<int>* swap_edges);
+
+}  // namespace olsq2::plan

@@ -10,6 +10,7 @@
 #include "layout/certify.h"
 #include "layout/olsq2.h"
 #include "layout/tb.h"
+#include "plan/plan.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "serve/transfer.h"
@@ -22,6 +23,7 @@ const char* engine_tag(Engine engine) {
     case Engine::kSwap: return "swap";
     case Engine::kTbSwap: return "tb-swap";
     case Engine::kTbBlock: return "tb-block";
+    case Engine::kPlan: return "plan";
   }
   return "?";
 }
@@ -31,13 +33,17 @@ Engine engine_from_tag(const std::string& tag) {
   if (tag == "swap") return Engine::kSwap;
   if (tag == "tb-swap") return Engine::kTbSwap;
   if (tag == "tb-block") return Engine::kTbBlock;
+  if (tag == "plan") return Engine::kPlan;
   throw std::runtime_error("serve: unknown engine '" + tag + "'");
 }
 
 namespace {
 
 bool transition_based(Engine engine) {
-  return engine == Engine::kTbSwap || engine == Engine::kTbBlock;
+  // The planning engine emits transition-based results (one SWAP per
+  // block transition, unconstrained depth).
+  return engine == Engine::kTbSwap || engine == Engine::kTbBlock ||
+         engine == Engine::kPlan;
 }
 
 layout::Result run_engine(Engine engine, const layout::Problem& problem,
@@ -52,6 +58,15 @@ layout::Result run_engine(Engine engine, const layout::Problem& problem,
       return layout::tb_synthesize_swap_optimal(problem, config, options);
     case Engine::kTbBlock:
       return layout::tb_synthesize_block_optimal(problem, config, options);
+    case Engine::kPlan: {
+      plan::PlanOptions popt;
+      popt.time_budget_ms = options.time_budget_ms;
+      popt.cancel = options.cancel;
+      if (options.seed != 0) popt.seed = options.seed;
+      // PlanResult::layout reports hit_budget for non-certified plans, so
+      // the cache (which skips hit_budget results) never pins one.
+      return plan::synthesize(problem, popt).layout;
+    }
   }
   return {};
 }

@@ -42,10 +42,10 @@
 
 namespace olsq2::serve {
 
-enum class Engine { kDepth, kSwap, kTbSwap, kTbBlock };
+enum class Engine { kDepth, kSwap, kTbSwap, kTbBlock, kPlan };
 
 /// Stable tag used in cache keys and manifests ("depth", "swap",
-/// "tb-swap", "tb-block").
+/// "tb-swap", "tb-block", "plan").
 const char* engine_tag(Engine engine);
 /// Inverse of engine_tag; throws std::runtime_error on unknown tags.
 Engine engine_from_tag(const std::string& tag);

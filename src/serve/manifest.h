@@ -10,7 +10,7 @@
 //      "device": "grid:1x5",                // preset spec or *.device.json path
 //      "swap_duration": 1,                  // optional (default 1, or the
 //                                           //  device file's value)
-//      "engine": "swap",                    // depth|swap|tb-swap|tb-block
+//      "engine": "swap",                    // depth|swap|tb-swap|tb-block|plan
 //      "budget_ms": 30000,                  // optional solve budget
 //      "certify": false,                    // optional DRAT certificate
 //      "expect": {"depth": 5, "swaps": 0}}  // optional golden values

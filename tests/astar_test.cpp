@@ -106,6 +106,32 @@ TEST(Astar, TinyExpansionCapFallsBackGreedily) {
   EXPECT_GT(r.greedy_fallbacks, 0);
 }
 
+TEST(Astar, FallbackResultsAreTaggedNonOptimal) {
+  // Regression for the latent per-layer optimality gap: a result that used
+  // the greedy fallback must say so via the `optimal` flag, because the
+  // differential oracles may then use it only as an upper bound - and even
+  // a degraded route must still replay validly and stay above the exact
+  // relaxation's optimum.
+  const auto c = bengen::qaoa_3regular(6, 4);
+  const auto dev = device::grid(2, 3);
+  const layout::Problem problem{&c, &dev, 1};
+  AstarOptions options;
+  options.max_expansions = 1;
+  const AstarResult degraded = route(problem, options);
+  EXPECT_GT(degraded.greedy_fallbacks, 0);
+  EXPECT_FALSE(degraded.optimal);
+  check_routed(problem, degraded);
+  const layout::Result exact = layout::tb_synthesize_swap_optimal(problem);
+  ASSERT_TRUE(exact.solved);
+  EXPECT_GE(degraded.swap_count, exact.swap_count);
+
+  // A clean run (no fallback) reports per-layer optimality.
+  const AstarResult clean = route(problem);
+  EXPECT_EQ(clean.greedy_fallbacks, 0);
+  EXPECT_TRUE(clean.optimal);
+  EXPECT_GE(clean.swap_count, exact.swap_count);
+}
+
 TEST(Astar, RejectsOversizedCircuit) {
   const auto c = bengen::qaoa_3regular(10, 1);
   const auto dev = device::grid(2, 2);

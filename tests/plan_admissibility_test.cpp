@@ -1,0 +1,193 @@
+// Admissibility property suite for the planning engine's heuristic
+// (src/plan/heuristic.h) over hundreds of seeded random instances.
+//
+// The reference optimum is computed two independent ways:
+//   - on tiny instances (<= 4 program qubits): an exhaustive breadth-first
+//     search written here, which uses EVERY device edge and keys states by
+//     the full (mapping, prefix) pair - deliberately ignoring both search
+//     reductions (active-edge restriction, inactive-position canonical
+//     key) so it can catch them being wrong;
+//   - on the rest: TB-OLSQ2's swap optimum from the SAT stack.
+// Against those references the suite asserts the defining properties: the
+// heuristic never overestimates the true cost-to-go (per root), and the
+// A*/IDA* searches reproduce the reference optimum exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fuzz/generator.h"
+#include "layout/tb.h"
+#include "layout/verifier.h"
+#include "plan/heuristic.h"
+#include "plan/plan.h"
+#include "plan/space.h"
+
+namespace olsq2::plan {
+namespace {
+
+constexpr int kNoPlan = -1;
+
+std::string state_key(const Space::State& s) {
+  std::string key;
+  key.reserve(2 * (s.mapping.size() + s.next.size()));
+  for (int x : s.mapping) {
+    key.push_back(static_cast<char>(x + 1));
+  }
+  key.push_back('|');
+  for (int x : s.next) {
+    key.push_back(static_cast<char>(x + 1));
+  }
+  return key;
+}
+
+/// Exhaustive uniform-cost search from `roots` (already enumerated, not
+/// yet closed) trying every device edge at every state. Returns the exact
+/// minimal SWAP count, or kNoPlan if no goal state is reachable.
+int brute_force_optimum(const Space& space, const device::Device& dev,
+                        std::vector<Space::State> roots) {
+  std::unordered_map<std::string, bool> seen;
+  std::deque<Space::State> frontier;
+  for (Space::State& root : roots) {
+    space.closure(&root);
+    if (!seen.emplace(state_key(root), true).second) continue;
+    if (space.is_goal(root)) return 0;
+    frontier.push_back(std::move(root));
+  }
+  for (int depth = 1; !frontier.empty(); ++depth) {
+    // Hard backstop: fuzz instances this small never need 16 SWAPs; if we
+    // get here, the state space walked off a cliff and the test should say
+    // so rather than spin.
+    EXPECT_LE(depth, 16) << "brute-force search runaway";
+    if (depth > 16) return kNoPlan;
+    std::deque<Space::State> next;
+    while (!frontier.empty()) {
+      const Space::State state = std::move(frontier.front());
+      frontier.pop_front();
+      for (int e = 0; e < dev.num_edges(); ++e) {
+        Space::State child = state;
+        space.apply_swap(&child, e);
+        space.closure(&child);
+        if (!seen.emplace(state_key(child), true).second) continue;
+        if (space.is_goal(child)) return depth;
+        next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return kNoPlan;
+}
+
+fuzz::GeneratorOptions tiny_options() {
+  fuzz::GeneratorOptions gen;
+  gen.min_qubits = 2;
+  gen.max_qubits = 4;
+  gen.max_spare_qubits = 1;
+  gen.min_gates = 1;
+  gen.max_gates = 8;
+  gen.max_extra_edges = 2;
+  return gen;
+}
+
+TEST(PlanAdmissibility, HeuristicNeverOverestimatesTheBruteForceOptimum) {
+  constexpr int kInstances = 420;
+  int nontrivial = 0;
+  for (int i = 0; i < kInstances; ++i) {
+    const std::uint64_t seed = fuzz::derive_seed(0x90ddfeedULL, i);
+    const fuzz::Instance instance = fuzz::random_instance(seed, tiny_options());
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const layout::Problem problem = instance.problem();
+    const Space space(problem);
+    const Heuristic h(space);
+    ASSERT_FALSE(h.bug_armed());
+
+    std::vector<Space::State> roots;
+    ASSERT_TRUE(space.roots(1 << 20, seed, &roots));
+    const int optimum = brute_force_optimum(space, instance.device, roots);
+    ASSERT_NE(optimum, kNoPlan) << "connected device must admit a plan";
+    if (optimum > 0) ++nontrivial;
+
+    // Admissibility at every root: h lower-bounds the cost of the best
+    // plan, so in particular min-over-roots h <= optimum; and no root's
+    // estimate may exceed the cost of the best plan *from that root*.
+    roots.clear();
+    ASSERT_TRUE(space.roots(1 << 20, seed, &roots));
+    int min_h = Heuristic::kUnreachable;
+    for (Space::State& root : roots) {
+      space.closure(&root);
+      min_h = std::min(min_h, h(root));
+    }
+    EXPECT_LE(min_h, optimum);
+    if (i % 7 == 0) {
+      // Stronger per-root check on a slice: the heuristic must also be
+      // admissible for each root's own optimum, not just the global one.
+      const int limit = std::min<int>(12, static_cast<int>(roots.size()));
+      for (int r = 0; r < limit; ++r) {
+        const int root_opt = brute_force_optimum(space, instance.device,
+                                                 {roots[r]});
+        if (root_opt == kNoPlan) continue;
+        EXPECT_LE(h(roots[r]), root_opt)
+            << "root " << r << " overestimated (h=" << h(roots[r])
+            << " optimum=" << root_opt << ")";
+      }
+    }
+
+    // A* must certify exactly the brute-force optimum.
+    const PlanResult astar = synthesize(problem);
+    ASSERT_TRUE(astar.solved);
+    ASSERT_TRUE(astar.optimal);
+    EXPECT_EQ(astar.swap_count, optimum);
+    const auto verdict =
+        layout::verify_transition_based(problem, astar.layout);
+    EXPECT_TRUE(verdict.ok) << (verdict.errors.empty() ? std::string()
+                                                       : verdict.errors[0]);
+
+    if (i % 5 == 0) {
+      PlanOptions ida;
+      ida.strategy = Strategy::kIdaStar;
+      const PlanResult idastar = synthesize(problem, ida);
+      ASSERT_TRUE(idastar.solved && idastar.optimal);
+      EXPECT_EQ(idastar.swap_count, optimum);
+    }
+  }
+  // The stream must actually exercise the heuristic: a sweep where nearly
+  // every instance routes with zero SWAPs would prove nothing. The fuzz
+  // generator's tiny instances route free most of the time; ~8% of this
+  // seed stream needs SWAPs, so guard a floor of 25 with headroom.
+  EXPECT_GE(nontrivial, 25);
+}
+
+TEST(PlanAdmissibility, CertifiedOptimaMatchTbOlsq2OnWiderInstances) {
+  constexpr int kInstances = 100;
+  for (int i = 0; i < kInstances; ++i) {
+    const std::uint64_t seed = fuzz::derive_seed(0x7b0ffa11ULL, i);
+    const fuzz::Instance instance = fuzz::random_instance(seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const layout::Problem problem = instance.problem();
+
+    const PlanResult planned = synthesize(problem);
+    ASSERT_TRUE(planned.solved);
+    ASSERT_TRUE(planned.optimal);
+
+    const layout::Result tb = layout::tb_synthesize_swap_optimal(problem);
+    ASSERT_TRUE(tb.solved);
+    // TB's descent may stop on an objective plateau before reaching the
+    // true unconstrained optimum, so `plan < tb` is legal iff the SAT
+    // encoding confirms a solution at the plan's bound; `plan > tb` never
+    // is (TB solutions are verified transition-based plans).
+    ASSERT_LE(planned.swap_count, tb.swap_count);
+    if (planned.swap_count < tb.swap_count) {
+      const layout::Result arbiter = layout::tb_solve_fixed(
+          problem, planned.swap_count + 1, planned.swap_count);
+      EXPECT_TRUE(arbiter.solved)
+          << "SAT encoding refuted: verified plan with "
+          << planned.swap_count << " swaps but tb_solve_fixed is UNSAT";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olsq2::plan
