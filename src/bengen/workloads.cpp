@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bengen/graphgen.h"
 
@@ -279,6 +281,68 @@ Circuit ising(int n, int rounds) {
       c.add_gate("cx", q, q + 1);
       c.add_gate("rz", q + 1, "0.7");
       c.add_gate("cx", q, q + 1);
+    }
+  }
+  return c;
+}
+
+Circuit region_workload(const device::Device& dev, int num_qubits,
+                        int num_gates, int cross_gates, std::uint64_t seed) {
+  if (num_qubits < 2 || num_qubits > dev.num_qubits()) {
+    throw std::invalid_argument("region_workload: bad qubit count");
+  }
+  Rng rng(seed);
+
+  // Random connected region: grow from a random seed vertex, picking a
+  // uniform frontier vertex each step.
+  std::vector<char> in(dev.num_qubits(), 0);
+  std::vector<int> region{rng.below_int(dev.num_qubits())};
+  in[region[0]] = 1;
+  std::vector<std::pair<int, int>> tree;  // program-index spanning edges
+  while (static_cast<int>(region.size()) < num_qubits) {
+    std::vector<std::pair<int, int>> frontier;  // (region idx, new vertex)
+    for (int i = 0; i < static_cast<int>(region.size()); ++i) {
+      for (const int u : dev.neighbors(region[i])) {
+        if (!in[u]) frontier.emplace_back(i, u);
+      }
+    }
+    if (frontier.empty()) {
+      throw std::invalid_argument(
+          "region_workload: device component smaller than region");
+    }
+    const auto [from, vertex] =
+        frontier[rng.below_int(static_cast<int>(frontier.size()))];
+    in[vertex] = 1;
+    tree.emplace_back(from, static_cast<int>(region.size()));
+    region.push_back(vertex);
+  }
+
+  // Program qubit i lives on region[i]; region-internal coupler pairs are
+  // the cheap gates, non-adjacent pairs the SWAP-forcing ones.
+  std::vector<std::pair<int, int>> near;
+  std::vector<std::pair<int, int>> far;
+  for (int i = 0; i < num_qubits; ++i) {
+    for (int j = i + 1; j < num_qubits; ++j) {
+      (dev.adjacent(region[i], region[j]) ? near : far).emplace_back(i, j);
+    }
+  }
+
+  Circuit c(num_qubits, "region-" + dev.name());
+  // Spanning tree first: the interaction graph stays connected no matter
+  // how the fill below lands.
+  for (const auto& [a, b] : tree) c.add_gate("cx", a, b);
+  for (int g = 0; g < cross_gates && !far.empty(); ++g) {
+    const auto& [a, b] = far[rng.below_int(static_cast<int>(far.size()))];
+    c.add_gate("cx", a, b);
+  }
+  while (c.num_gates() < num_gates) {
+    if (!near.empty() && rng.chance(0.7)) {
+      const auto& [a, b] = near[rng.below_int(static_cast<int>(near.size()))];
+      c.add_gate("cx", a, b);
+    } else if (rng.chance(0.5)) {
+      c.add_gate("h", rng.below_int(num_qubits));
+    } else {
+      c.add_gate("rz", rng.below_int(num_qubits), "pi/4");
     }
   }
   return c;

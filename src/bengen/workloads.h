@@ -60,4 +60,17 @@ circuit::Circuit bernstein_vazirani(int n, std::uint64_t secret);
 /// 2n + 2 qubits, MAJ/UMA ladders of CNOT and Toffoli (15-gate network).
 circuit::Circuit cuccaro_adder(int n);
 
+/// Circuit targeting a connected region of a (typically 100+ qubit)
+/// device: `num_qubits` program qubits are identified with a random
+/// connected region of `dev`, two-qubit gates follow region couplers (a
+/// spanning tree first, so the interaction graph is connected), and
+/// `cross_gates` extra gates join non-adjacent region vertices so the
+/// instance genuinely needs SWAPs. The shape feeds the subarchitecture
+/// extraction path (subarch/) with realistic local workloads on named
+/// large devices; the fuzz generators use it via
+/// fuzz::GeneratorOptions::named_device.
+circuit::Circuit region_workload(const device::Device& dev, int num_qubits,
+                                 int num_gates, int cross_gates,
+                                 std::uint64_t seed);
+
 }  // namespace olsq2::bengen

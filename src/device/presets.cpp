@@ -1,6 +1,8 @@
 #include "device/presets.h"
 
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace olsq2::device {
@@ -172,6 +174,43 @@ Device ibm_tokyo20() {
        {12, 13}, {13, 14}, {10, 15}, {11, 16}, {11, 17}, {12, 16}, {12, 17},
        {13, 18}, {13, 19}, {14, 18}, {14, 19}, {15, 16}, {16, 17}, {17, 18},
        {18, 19}});
+}
+
+namespace {
+
+/// "grid:2x3" -> (2, 3).
+std::pair<int, int> parse_dims(const std::string& spec, std::size_t colon) {
+  const std::string dims = spec.substr(colon + 1);
+  const std::size_t x = dims.find('x');
+  if (x == std::string::npos) {
+    throw std::runtime_error("device preset: bad dims '" + spec +
+                             "' (want ROWSxCOLS)");
+  }
+  return {std::stoi(dims.substr(0, x)), std::stoi(dims.substr(x + 1))};
+}
+
+}  // namespace
+
+Device preset_by_name(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  if (colon != std::string::npos) {
+    if (kind == "grid") {
+      const auto [rows, cols] = parse_dims(spec, colon);
+      return grid(rows, cols);
+    }
+    if (kind == "heavyhex") {
+      const auto [rows, cols] = parse_dims(spec, colon);
+      return heavy_hex(rows, cols);
+    }
+  }
+  if (spec == "ibm_qx2") return ibm_qx2();
+  if (spec == "rigetti_aspen4") return rigetti_aspen4();
+  if (spec == "sycamore54") return google_sycamore54();
+  if (spec == "eagle127") return ibm_eagle127();
+  if (spec == "guadalupe16") return ibm_guadalupe16();
+  if (spec == "tokyo20") return ibm_tokyo20();
+  throw std::runtime_error("device preset: unknown spec '" + spec + "'");
 }
 
 }  // namespace olsq2::device

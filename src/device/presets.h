@@ -39,4 +39,11 @@ Device ibm_guadalupe16();
 /// couplers - a denser topology than grids, often used in routing papers.
 Device ibm_tokyo20();
 
+/// Resolve a preset spec string: parameterized families "grid:RxC" /
+/// "heavyhex:RxC" or a named device ("eagle127", "sycamore54",
+/// "guadalupe16", "tokyo20", "ibm_qx2", "rigetti_aspen4"). One registry
+/// shared by serve manifests, the fuzz generators, and the bench drivers.
+/// Throws std::runtime_error on unknown specs.
+Device preset_by_name(const std::string& spec);
+
 }  // namespace olsq2::device

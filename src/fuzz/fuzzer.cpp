@@ -35,6 +35,11 @@ FailurePredicate predicate_for(const std::string& oracle,
   if (oracle == "plan") {
     return [](const Instance& c) { return !check_plan(c).ok; };
   }
+  if (oracle == "subarch") {
+    return [instance_seed](const Instance& c) {
+      return !check_subarch(c, instance_seed).ok;
+    };
+  }
   return [instance_seed](const Instance& c) {
     return !check_metamorphic(c, instance_seed).ok;
   };

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "bengen/graphgen.h"
+#include "bengen/workloads.h"
+#include "device/presets.h"
 
 namespace olsq2::fuzz {
 
@@ -79,6 +81,16 @@ Instance random_instance(std::uint64_t seed, const GeneratorOptions& options) {
   const int extra_edges = rng.below_int(options.max_extra_edges + 1);
   const int swap_duration =
       options.swap_duration_one_only || rng.chance(0.7) ? 1 : 3;
+
+  if (!options.named_device.empty()) {
+    // Large named device + region-local workload: the interaction graph is
+    // connected by construction and 1-2 cross-region gates force SWAPs.
+    device::Device dev = device::preset_by_name(options.named_device);
+    const int cross = 1 + rng.below_int(2);
+    circuit::Circuit circ = bengen::region_workload(
+        dev, qubits, std::max(gates, qubits), cross, derive_seed(seed, 1));
+    return Instance{std::move(circ), std::move(dev), swap_duration, seed};
+  }
 
   device::Device dev = random_device(qubits + spare, extra_edges, rng);
   circuit::Circuit circ = random_circuit(qubits, gates, rng);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "bengen/rng.h"
 #include "circuit/circuit.h"
@@ -47,6 +48,13 @@ struct GeneratorOptions {
   /// Restrict to SWAP duration 1 (some metamorphic relations are only exact
   /// there); otherwise S_D is drawn from {1, 3}.
   bool swap_duration_one_only = false;
+  /// When non-empty, skip the random device and target a named preset
+  /// (device::preset_by_name spec, e.g. "eagle127" or "grid:8x8") with a
+  /// bengen::region_workload circuit: the program qubits live on a random
+  /// connected region of the device, plus a couple of non-adjacent
+  /// "cross" gates so the instance genuinely needs SWAPs. This is how the
+  /// fuzz generators exercise the subarchitecture path on large devices.
+  std::string named_device;
 };
 
 /// Random circuit over the roundtrippable gate palette. Every qubit that the

@@ -20,6 +20,12 @@
 //                       bug (OLSQ2_FUZZ_INJECT_PLAN_BUG, a +1 overestimate
 //                       that breaks admissibility) and require the plan/SAT
 //                       differential oracle to catch it
+//     --inject-subarch-bug
+//                       self-test: enable the deliberate extractor bug
+//                       (OLSQ2_FUZZ_INJECT_SUBARCH_BUG, which silently drops
+//                       an induced edge from every cyclic enumerated
+//                       subgraph) and require the subarch lift-soundness
+//                       differential oracle to catch the inflated optimum
 //
 // Both `--flag value` and `--flag=value` spellings are accepted. At least
 // one of --seconds/--iterations must be given (except with --inject-bug,
@@ -42,7 +48,7 @@ using namespace olsq2;
             << "usage: olsq2_fuzz [--seed N] [--seconds S] [--iterations K]\n"
             << "                  [--out DIR] [--no-reduce] [--stop-on-failure]\n"
             << "                  [--verbose] [--inject-bug] [--inject-sat-bug]\n"
-            << "                  [--inject-plan-bug]\n";
+            << "                  [--inject-plan-bug] [--inject-subarch-bug]\n";
   std::exit(2);
 }
 
@@ -172,6 +178,47 @@ int run_inject_plan_bug_selftest(const fuzz::FuzzOptions& options) {
   return 0;
 }
 
+int run_inject_subarch_bug_selftest(const fuzz::FuzzOptions& options) {
+  // The armed extractor drops one induced edge from every cyclic subgraph it
+  // emits, so the ladder solves on an impoverished subdevice. check_subarch
+  // catches that through two independent channels: probes that should be SAT
+  // come back UNSAT, closing the ladder a round late (certified "optimum"
+  // above the direct full-device optimum), and/or the relabeled device's
+  // cover diverging (which edge gets dropped depends on the labeling, so
+  // isomorphic devices stop producing identical class keys). Tree-shaped
+  // subdevices are unaffected; sweep the seed stream until a cyclic
+  // instance comes along.
+  setenv("OLSQ2_FUZZ_INJECT_SUBARCH_BUG", "1", /*overwrite=*/1);
+  const int iterations = options.iterations > 0 ? options.iterations : 200;
+  int caught_at = -1;
+  std::vector<std::string> errors;
+  for (int i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = fuzz::derive_seed(options.seed, i);
+    const fuzz::Instance instance = fuzz::random_instance(seed, options.gen);
+    const fuzz::OracleReport result = fuzz::check_subarch(instance, seed);
+    if (options.verbose) {
+      std::cerr << "[fuzz] iter=" << i << " seed=" << seed
+                << " oracle=subarch ok=" << (result.ok ? 1 : 0) << "\n";
+    }
+    if (!result.ok) {
+      caught_at = i;
+      errors = result.errors;
+      break;
+    }
+  }
+  unsetenv("OLSQ2_FUZZ_INJECT_SUBARCH_BUG");
+
+  if (caught_at < 0) {
+    std::cerr << "olsq2_fuzz: injected subarch-extractor bug was NOT caught "
+              << "in " << iterations << " iterations\n";
+    return 1;
+  }
+  std::cout << "inject-subarch-bug self-test passed: caught at iteration "
+            << caught_at << "\n";
+  for (const std::string& e : errors) std::cout << "  " << e << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,6 +227,7 @@ int main(int argc, char** argv) {
   bool inject_bug = false;
   bool inject_sat_bug = false;
   bool inject_plan_bug = false;
+  bool inject_subarch_bug = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string value;
@@ -203,6 +251,8 @@ int main(int argc, char** argv) {
       inject_sat_bug = true;
     } else if (args[i] == "--inject-plan-bug") {
       inject_plan_bug = true;
+    } else if (args[i] == "--inject-subarch-bug") {
+      inject_subarch_bug = true;
     } else {
       usage_error("unknown argument: " + args[i]);
     }
@@ -211,6 +261,7 @@ int main(int argc, char** argv) {
   if (inject_bug) return run_inject_bug_selftest(options);
   if (inject_sat_bug) return run_inject_sat_bug_selftest(options);
   if (inject_plan_bug) return run_inject_plan_bug_selftest(options);
+  if (inject_subarch_bug) return run_inject_subarch_bug_selftest(options);
 
   if (options.seconds <= 0.0 && options.iterations <= 0) {
     usage_error("need --seconds or --iterations");

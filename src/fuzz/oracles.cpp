@@ -19,6 +19,10 @@
 #include "sat/proof.h"
 #include "sat/solver.h"
 #include "serve/batch.h"
+#include "serve/canonical.h"
+#include "subarch/extract.h"
+#include "subarch/library.h"
+#include "subarch/solve.h"
 
 namespace olsq2::fuzz {
 
@@ -583,6 +587,141 @@ OracleReport check_plan(const Instance& instance) {
   return report;
 }
 
+OracleReport check_subarch(const Instance& instance, std::uint64_t seed) {
+  OracleReport report;
+  report.oracle = "subarch";
+  const layout::Problem problem = instance.problem();
+
+  // Fresh library per oracle run so the relabel-hit assertion below sees
+  // exactly this instance's probes, not leftovers from earlier seeds.
+  subarch::Library library;
+  subarch::SubarchOptions subopts;
+  subopts.min_device_qubits = 0;  // force the ladder onto the tiny device
+  subopts.library = &library;
+
+  layout::OptimizerOptions options;
+  options.time_budget_ms = kBudgetMs;
+
+  subarch::SubarchOutcome outcome;
+  const layout::Result lifted = subarch::tb_synthesize_swap_optimal(
+      problem, {}, options, subopts, &outcome);
+  if (!lifted.solved) {
+    report.fail(describe(instance) + ": subarch: lifted solve failed" +
+                (lifted.hit_budget ? " (budget)" : "") +
+                (outcome.fallback_reason.empty()
+                     ? ""
+                     : " [" + outcome.fallback_reason + "]"));
+    return report;
+  }
+  check_verified(report, problem, lifted,
+                 describe(instance) + ": subarch (lifted, full device)");
+
+  const layout::Result direct =
+      layout::tb_synthesize_swap_optimal(problem, {}, options);
+  if (!direct.solved) {
+    report.fail(describe(instance) + ": subarch: direct reference failed" +
+                (direct.hit_budget ? " (budget)" : ""));
+    return report;
+  }
+  if (lifted.swap_count != direct.swap_count) {
+    report.fail(describe(instance) + ": subarch: lift-soundness violation: " +
+                "lifted optimum " + std::to_string(lifted.swap_count) +
+                " vs direct optimum " + std::to_string(direct.swap_count) +
+                (outcome.used ? " (ladder certified=" +
+                                    std::string(outcome.certified ? "1" : "0") +
+                                    ", sub_qubits=" +
+                                    std::to_string(outcome.sub_qubits) + ")"
+                              : " (direct fallback: " +
+                                    outcome.fallback_reason + ")"));
+  }
+
+  // Second certifying engine through the same ladder: the plan wrapper
+  // re-solves the winning subdevice with A* and must land on the same
+  // optimum (or fall back to the direct plan engine, which check_plan
+  // already cross-checks against TB).
+  plan::PlanOptions popt;
+  popt.time_budget_ms = kBudgetMs;
+  subarch::SubarchOutcome plan_outcome;
+  const plan::PlanResult planned =
+      subarch::plan_synthesize(problem, popt, subopts, &plan_outcome);
+  if (!planned.solved) {
+    report.fail(describe(instance) + ": subarch: plan wrapper failed" +
+                (plan_outcome.fallback_reason.empty()
+                     ? ""
+                     : " [" + plan_outcome.fallback_reason + "]"));
+  } else {
+    check_verified(report, problem, planned.layout,
+                   describe(instance) + ": subarch (plan, full device)");
+    if (planned.optimal && planned.swap_count != direct.swap_count) {
+      report.fail(describe(instance) +
+                  ": subarch: plan wrapper certifies " +
+                  std::to_string(planned.swap_count) +
+                  " swaps, direct TB optimum is " +
+                  std::to_string(direct.swap_count));
+    }
+  }
+
+  // Canonical-keying soundness. A physical relabeling is an isomorphic
+  // device, so (a) its size-|Q| cover must consist of exactly the same
+  // canonical class keys, and (b) when every canonical form involved is
+  // exact, its ladder must answer round-0 probes from the shared library.
+  bengen::Rng rng(seed);
+  const Instance variant = relabel_physical_qubits(instance, rng);
+  const int m = instance.circuit.num_qubits();
+  if (m >= 2 && m <= instance.device.num_qubits()) {
+    const subarch::Cover cover_a = subarch::enumerate_cover(instance.device, m);
+    const subarch::Cover cover_b = subarch::enumerate_cover(variant.device, m);
+    if (cover_a.complete && cover_b.complete) {
+      std::vector<std::string> keys_a, keys_b;
+      for (const auto& cls : cover_a.classes) keys_a.push_back(cls.canon.key);
+      for (const auto& cls : cover_b.classes) keys_b.push_back(cls.canon.key);
+      std::sort(keys_a.begin(), keys_a.end());
+      std::sort(keys_b.begin(), keys_b.end());
+      if (keys_a != keys_b) {
+        report.fail(describe(instance) + ": subarch: relabeled device's " +
+                    "size-" + std::to_string(m) + " cover diverged (" +
+                    std::to_string(keys_a.size()) + " vs " +
+                    std::to_string(keys_b.size()) +
+                    " classes / key mismatch): canonical keying is not " +
+                    "isomorphism-invariant");
+      }
+    }
+  }
+
+  const subarch::Library::Stats before = library.stats();
+  subarch::SubarchOutcome again;
+  const layout::Result relifted = subarch::tb_synthesize_swap_optimal(
+      variant.problem(), {}, options, subopts, &again);
+  if (!relifted.solved) {
+    report.fail(describe(instance) +
+                ": subarch: relabeled variant's solve failed");
+    return report;
+  }
+  check_verified(report, variant.problem(), relifted,
+                 describe(instance) + ": subarch (relabeled, full device)");
+  if (relifted.swap_count != direct.swap_count) {
+    report.fail(describe(instance) + ": subarch: relabeled optimum " +
+                std::to_string(relifted.swap_count) +
+                " differs from the original's " +
+                std::to_string(direct.swap_count));
+  }
+  if (outcome.certified && again.certified && outcome.rounds == 1 &&
+      serve::canonicalize_circuit(instance.circuit).exact) {
+    // Both ladders closed at k=0, so every probe key is (exact circuit
+    // canon) x (exact class canon from the compared covers): the relabeled
+    // run must have found its answers in the library.
+    const subarch::Library::Stats after = library.stats();
+    if (after.hits <= before.hits) {
+      report.fail(describe(instance) + ": subarch: relabeled device " +
+                  "missed the probe library entirely (" +
+                  std::to_string(after.misses - before.misses) +
+                  " misses): canonical keys are not shared across " +
+                  "isomorphic devices");
+    }
+  }
+  return report;
+}
+
 OracleReport check_instance(const Instance& instance, std::uint64_t seed) {
   OracleReport report = check_encoding_differential(instance);
   if (!report.ok) return report;
@@ -592,7 +731,9 @@ OracleReport check_instance(const Instance& instance, std::uint64_t seed) {
   if (!report.ok) return report;
   report = check_cache(instance, seed);
   if (!report.ok) return report;
-  return check_plan(instance);
+  report = check_plan(instance);
+  if (!report.ok) return report;
+  return check_subarch(instance, seed);
 }
 
 }  // namespace olsq2::fuzz

@@ -70,10 +70,23 @@ OracleReport check_cache(const Instance& instance, std::uint64_t seed);
 /// upper bounds, and that a budget-starved plan run still returns a sound
 /// upper bound (never below the certified optimum).
 OracleReport check_plan(const Instance& instance);
+/// Subarchitecture lift-soundness differential (src/subarch): force the
+/// k-ladder on the small fuzzed device (min_device_qubits = 0) and require
+///   - the lifted TB result to pass the full-device verifier and to match
+///     layout::tb_synthesize_swap_optimal's direct swap optimum exactly,
+///   - the subarch plan wrapper to reproduce the same optimum under the
+///     second certifying engine,
+///   - a physically relabeled device variant to enumerate the same cover
+///     (identical canonical class keys) and, when all canonical forms are
+///     exact, to answer its ladder probes from the shared library (the
+///     canonical-keying soundness the cross-request cache relies on).
+/// This is the oracle that catches OLSQ2_FUZZ_INJECT_SUBARCH_BUG (an
+/// extractor that silently drops subgraph edges; see --inject-subarch-bug).
+OracleReport check_subarch(const Instance& instance, std::uint64_t seed);
 
 /// All instance-level oracles in sequence (encoding, engine, metamorphic,
-/// cache, plan); stops at the first failing report. This is the reducer's
-/// predicate.
+/// cache, plan, subarch); stops at the first failing report. This is the
+/// reducer's predicate.
 OracleReport check_instance(const Instance& instance, std::uint64_t seed);
 
 }  // namespace olsq2::fuzz

@@ -48,13 +48,26 @@ bool transition_based(Engine engine) {
 
 layout::Result run_engine(Engine engine, const layout::Problem& problem,
                           const layout::EncodingConfig& config,
-                          const layout::OptimizerOptions& options) {
+                          const layout::OptimizerOptions& options,
+                          subarch::SubarchOptions subarch_options) {
+  // Transparent subarchitecture pre-pass for the engines whose SWAP
+  // optima are reduction-invariant (certified ladder + lift; any failure
+  // inside the wrappers degrades to the direct engine below). The
+  // time-resolved kSwap/kDepth sweeps are excluded: their depth choice is
+  // not invariant under device reduction (DESIGN.md §14.5).
+  const bool engage =
+      (engine == Engine::kTbSwap || engine == Engine::kPlan) &&
+      subarch::should_engage(problem, subarch_options);
   switch (engine) {
     case Engine::kDepth:
       return layout::synthesize_depth_optimal(problem, config, options);
     case Engine::kSwap:
       return layout::synthesize_swap_optimal(problem, config, options);
     case Engine::kTbSwap:
+      if (engage) {
+        return subarch::tb_synthesize_swap_optimal(problem, config, options,
+                                                   subarch_options);
+      }
       return layout::tb_synthesize_swap_optimal(problem, config, options);
     case Engine::kTbBlock:
       return layout::tb_synthesize_block_optimal(problem, config, options);
@@ -65,6 +78,10 @@ layout::Result run_engine(Engine engine, const layout::Problem& problem,
       if (options.seed != 0) popt.seed = options.seed;
       // PlanResult::layout reports hit_budget for non-certified plans, so
       // the cache (which skips hit_budget results) never pins one.
+      if (engage) {
+        return subarch::plan_synthesize(problem, popt, subarch_options)
+            .layout;
+      }
       return plan::synthesize(problem, popt).layout;
     }
   }
@@ -227,8 +244,12 @@ std::vector<Response> Server::serve_batch(
     layout::OptimizerOptions options = req.options;
     options.exchange = &exchange_;
 
+    subarch::SubarchOptions subarch_options = options_.subarch;
+    subarch_options.library = &subarch_library_;
+
     CacheEntry entry;
-    entry.result = run_engine(req.engine, canonical, req.config, options);
+    entry.result =
+        run_engine(req.engine, canonical, req.config, options, subarch_options);
     maybe_certify(req, canonical, entry);
 
     if (options_.use_cache && entry.result.solved &&

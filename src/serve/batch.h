@@ -38,6 +38,7 @@
 #include "sat/exchange.h"
 #include "serve/cache.h"
 #include "serve/canonical.h"
+#include "subarch/solve.h"
 #include "util/sync.h"
 
 namespace olsq2::serve {
@@ -92,6 +93,14 @@ struct ServerOptions {
   CacheOptions cache;
   /// Disable all lookups/inserts (bench baseline: every request solves).
   bool use_cache = true;
+  /// Transparent subarchitecture pre-pass (subarch/solve.h): tb-swap and
+  /// plan requests on large devices route through the certified ladder
+  /// and lift, sharing probe work via the server's subarch library; any
+  /// ladder failure degrades to the direct engine, so behavior is
+  /// identical except for speed. Only the engines whose SWAP optima are
+  /// reduction-invariant theorems are routed (kSwap/kDepth time-resolved
+  /// sweeps are not - DESIGN.md §14.5).
+  subarch::SubarchOptions subarch;
 };
 
 class Server {
@@ -109,6 +118,9 @@ class Server {
       OLSQ2_EXCLUDES(solve_mutex_);
 
   ResultCache& cache() { return cache_; }
+  /// The server's subarchitecture probe library (shared across requests,
+  /// engines, and batches; isomorphic subdevices collide by design).
+  subarch::Library& subarch_library() { return subarch_library_; }
   /// The shared hub. Internally thread-safe, but its begin_problem()
   /// fencing is coordinated by solve_mutex_ - do not fence externally
   /// while batches are in flight.
@@ -117,6 +129,7 @@ class Server {
  private:
   ServerOptions options_;
   ResultCache cache_;
+  subarch::Library subarch_library_;
   /// Serializes the residual-solve phase: exchange_ fencing + solve +
   /// cache insert run as one critical section per batch.
   sync::Mutex solve_mutex_{"serve.batch.solve"};

@@ -74,17 +74,6 @@ ManifestEntry parse_entry(obs::JsonScanner& scan) {
   return entry;
 }
 
-/// "grid:2x3" -> (2, 3).
-std::pair<int, int> parse_dims(const std::string& spec, std::size_t colon) {
-  const std::string dims = spec.substr(colon + 1);
-  const std::size_t x = dims.find('x');
-  if (x == std::string::npos) {
-    throw std::runtime_error("serve manifest: bad device dims '" + spec +
-                             "' (want ROWSxCOLS)");
-  }
-  return {std::stoi(dims.substr(0, x)), std::stoi(dims.substr(x + 1))};
-}
-
 }  // namespace
 
 Manifest parse_manifest(std::string_view json) {
@@ -126,24 +115,12 @@ device::Device resolve_device(const std::string& spec,
     }
     return std::move(parsed.device);
   }
-  const std::size_t colon = spec.find(':');
-  const std::string kind = spec.substr(0, colon);
-  if (kind == "grid") {
-    const auto [rows, cols] = parse_dims(spec, colon);
-    return device::grid(rows, cols);
+  try {
+    return device::preset_by_name(spec);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("serve manifest: unknown device spec '" + spec +
+                             "'");
   }
-  if (kind == "heavyhex") {
-    const auto [rows, cols] = parse_dims(spec, colon);
-    return device::heavy_hex(rows, cols);
-  }
-  if (spec == "ibm_qx2") return device::ibm_qx2();
-  if (spec == "rigetti_aspen4") return device::rigetti_aspen4();
-  if (spec == "sycamore54") return device::google_sycamore54();
-  if (spec == "eagle127") return device::ibm_eagle127();
-  if (spec == "guadalupe16") return device::ibm_guadalupe16();
-  if (spec == "tokyo20") return device::ibm_tokyo20();
-  throw std::runtime_error("serve manifest: unknown device spec '" + spec +
-                           "'");
 }
 
 LoadedManifest materialize_manifest(const Manifest& manifest,

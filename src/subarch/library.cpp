@@ -1,0 +1,60 @@
+#include "subarch/library.h"
+
+#include "obs/metrics.h"
+
+namespace olsq2::subarch {
+
+namespace {
+
+void count(const char* name, const char* help) {
+  if (!obs::metrics::enabled()) return;
+  obs::metrics::Registry::instance().counter(name, help).inc();
+}
+
+}  // namespace
+
+std::optional<Library::Probe> Library::lookup(const std::string& key) {
+  {
+    sync::MutexLock lock(mutex_);
+    if (const auto it = probes_.find(key); it != probes_.end()) {
+      ++stats_.hits;
+      count("subarch_library_hits_total",
+            "Ladder probes answered from the subarchitecture library");
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+  count("subarch_library_misses_total",
+        "Ladder probes that had to solve (library miss)");
+  return std::nullopt;
+}
+
+void Library::insert(const std::string& key, Probe probe) {
+  sync::MutexLock lock(mutex_);
+  probes_.insert_or_assign(key, std::move(probe));
+  ++stats_.inserts;
+}
+
+Library::Stats Library::stats() const {
+  sync::MutexLock lock(mutex_);
+  return stats_;
+}
+
+std::size_t Library::size() const {
+  sync::MutexLock lock(mutex_);
+  return probes_.size();
+}
+
+Library& Library::process_wide() {
+  static Library* library = new Library();
+  return *library;
+}
+
+std::string probe_key(const std::string& device_key,
+                      const std::string& circuit_key, int swap_duration,
+                      int k) {
+  return device_key + "|" + circuit_key + "|S" +
+         std::to_string(swap_duration) + "|k" + std::to_string(k);
+}
+
+}  // namespace olsq2::subarch

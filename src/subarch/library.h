@@ -1,0 +1,68 @@
+// Precomputed subarchitecture library: memoized feasibility probes keyed
+// by WL-canonical forms (serve/canonical.h).
+//
+// A ladder probe asks "does the canonical circuit admit a <=k-SWAP
+// transition-based solution on this canonical subdevice?". Both sides of
+// the key are canonical, so the answer is shared by every isomorphic
+// subdevice embedding (a heavy-hex device contains thousands of translated
+// copies of each m-vertex shape - one probe answers all of them) and by
+// every relabeled/reordered variant of the circuit, across requests and
+// engines. Stored SAT results live in canonical space; callers un-relabel
+// them through their own witness (serve/transfer.h) before lifting.
+//
+// Soundness inherits from the canonicalizer's byte-for-byte key contract:
+// equal keys mean literally identical canonical instances, so a cache hit
+// can never cross genuinely different subproblems. Inexact canonical forms
+// only split classes (a missed hit), never merge them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "layout/types.h"
+#include "util/sync.h"
+
+namespace olsq2::subarch {
+
+class Library {
+ public:
+  /// One memoized ladder probe. status 'S' = SAT within the bound
+  /// (`result` holds the canonical-space TB solution), 'U' = proven
+  /// infeasible at the bound. Budget-expired probes are never stored.
+  struct Probe {
+    char status = '?';
+    layout::Result result;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+  };
+
+  std::optional<Probe> lookup(const std::string& key)
+      OLSQ2_EXCLUDES(mutex_);
+  void insert(const std::string& key, Probe probe) OLSQ2_EXCLUDES(mutex_);
+  Stats stats() const OLSQ2_EXCLUDES(mutex_);
+  std::size_t size() const OLSQ2_EXCLUDES(mutex_);
+
+  /// Shared default instance (callers that don't manage library lifetime:
+  /// the serve pre-pass wires the Server's own instance instead).
+  static Library& process_wide();
+
+ private:
+  mutable sync::Mutex mutex_{"subarch.library"};
+  std::unordered_map<std::string, Probe> probes_ OLSQ2_GUARDED_BY(mutex_);
+  mutable Stats stats_ OLSQ2_GUARDED_BY(mutex_);
+};
+
+/// Probe key: canonical subdevice + canonical circuit + swap duration +
+/// ladder bound. (Engine-independent: the TB feasibility question is the
+/// same arbitration layer both certifying engines reduce to.)
+std::string probe_key(const std::string& device_key,
+                      const std::string& circuit_key, int swap_duration,
+                      int k);
+
+}  // namespace olsq2::subarch

@@ -1,0 +1,67 @@
+#include "subarch/lift.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace olsq2::subarch {
+
+int full_edge_index(const device::Device& full, int full_p0, int full_p1) {
+  for (const int e : full.edges_at(full_p0)) {
+    if (full.edge(e).other(full_p0) == full_p1) return e;
+  }
+  throw std::logic_error("subarch: lifted SWAP edge missing on full device");
+}
+
+layout::Result lift_result(const layout::Result& sub, const SubDevice& sd,
+                           const device::Device& full) {
+  obs::Span span("subarch.lift");
+  if (span.live()) {
+    span.arg("sub_qubits", sd.device.num_qubits());
+    span.arg("full_qubits", full.num_qubits());
+    span.arg("swaps", sub.swap_count);
+  }
+  layout::Result lifted = sub;
+  for (auto& row : lifted.mapping) {
+    for (int& p : row) {
+      assert(p >= 0 && p < static_cast<int>(sd.to_full.size()));
+      p = sd.to_full[p];
+    }
+  }
+  for (layout::SwapOp& swap : lifted.swaps) {
+    const device::Edge& e = sd.device.edge(swap.edge);
+    swap.edge = full_edge_index(full, sd.to_full[e.p0], sd.to_full[e.p1]);
+  }
+  return lifted;
+}
+
+plan::PlanResult lift_plan_result(const plan::PlanResult& sub,
+                                  const SubDevice& sd,
+                                  const device::Device& full) {
+  plan::PlanResult lifted = sub;
+  for (int& p : lifted.initial_mapping) p = sd.to_full[p];
+  for (int& p : lifted.final_mapping) p = sd.to_full[p];
+  for (int& e : lifted.swap_edges) {
+    const device::Edge& edge = sd.device.edge(e);
+    e = full_edge_index(full, sd.to_full[edge.p0], sd.to_full[edge.p1]);
+  }
+  lifted.layout = lift_result(sub.layout, sd, full);
+  return lifted;
+}
+
+std::vector<int> project_mapping(const std::vector<int>& full_mapping,
+                                 const SubDevice& sd,
+                                 const device::Device& full) {
+  std::vector<int> to_sub(full.num_qubits(), -1);
+  for (int s = 0; s < static_cast<int>(sd.to_full.size()); ++s) {
+    to_sub[sd.to_full[s]] = s;
+  }
+  std::vector<int> projected(full_mapping.size(), -1);
+  for (std::size_t q = 0; q < full_mapping.size(); ++q) {
+    projected[q] = to_sub[full_mapping[q]];
+  }
+  return projected;
+}
+
+}  // namespace olsq2::subarch

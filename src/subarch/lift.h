@@ -1,0 +1,44 @@
+// Lifting layer: push a subarchitecture-space solution back onto the full
+// device through the SubDevice's permutation witness (`to_full`).
+//
+// Lifting is purely syntactic - mapping values and SWAP-edge endpoints are
+// renamed, objective values are untouched - and it is validity-preserving
+// because the subdevice is an *induced* subgraph: every coupler a
+// sub-space solution uses exists verbatim on the full device. The callers
+// in subarch/solve.cpp still re-check every lifted result with the
+// independent layout/verifier against the FULL device; a lift that fails
+// that check is a library bug, never returned to the user.
+#pragma once
+
+#include <vector>
+
+#include "layout/types.h"
+#include "plan/plan.h"
+#include "subarch/extract.h"
+
+namespace olsq2::subarch {
+
+/// Rename a sub-space result into full-device physical indices. The
+/// result must be valid for (circuit, sd.device); edge indices are
+/// re-resolved against `full`.
+layout::Result lift_result(const layout::Result& sub, const SubDevice& sd,
+                           const device::Device& full);
+
+/// Rename a sub-space planning result (mappings, swap edge list, and the
+/// embedded transition-based layout) into full-device indices.
+plan::PlanResult lift_plan_result(const plan::PlanResult& sub,
+                                  const SubDevice& sd,
+                                  const device::Device& full);
+
+/// Project a full-device mapping row into sub space: out[q] is the sub
+/// index of full position mapping[q], or -1 when that position lies
+/// outside the subdevice. lift∘project == identity on used qubits - the
+/// round-trip property subarch_test pins.
+std::vector<int> project_mapping(const std::vector<int>& full_mapping,
+                                 const SubDevice& sd,
+                                 const device::Device& full);
+
+/// Full-device edge index for sub edge endpoints (asserts existence).
+int full_edge_index(const device::Device& full, int full_p0, int full_p1);
+
+}  // namespace olsq2::subarch

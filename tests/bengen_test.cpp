@@ -233,5 +233,40 @@ TEST(AllGenerators, GateIndicesInRange) {
   }
 }
 
+TEST(RegionWorkload, ConnectedInteractionOnLargeDevice) {
+  const device::Device dev = device::ibm_eagle127();
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    const circuit::Circuit c = region_workload(dev, 5, 12, 2, seed);
+    EXPECT_EQ(c.num_qubits(), 5);
+    EXPECT_GE(static_cast<int>(c.gates().size()), 12);
+    // The spanning-tree backbone makes the interaction graph connected:
+    // union-find over two-qubit gate endpoints ends with one root.
+    std::vector<int> parent(c.num_qubits());
+    for (int i = 0; i < c.num_qubits(); ++i) parent[i] = i;
+    const auto find = [&](int x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    int two_qubit = 0;
+    for (const auto& g : c.gates()) {
+      if (!g.is_two_qubit()) continue;
+      ++two_qubit;
+      parent[find(g.q0)] = find(g.q1);
+    }
+    EXPECT_GE(two_qubit, c.num_qubits() - 1);
+    for (int q = 1; q < c.num_qubits(); ++q) {
+      EXPECT_EQ(find(q), find(0)) << "seed " << seed << " qubit " << q;
+    }
+    // Round-trips through QASM like every other generator.
+    EXPECT_EQ(qasm::parse(qasm::write(c)), c);
+  }
+}
+
+TEST(RegionWorkload, RejectsImpossibleRegions) {
+  const device::Device dev = device::grid(2, 2);
+  EXPECT_THROW(region_workload(dev, 10, 5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(region_workload(dev, 1, 5, 0, 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace olsq2::bengen

@@ -1,9 +1,14 @@
-// Tests for coupling graphs: structural invariants of every preset device.
+// Tests for coupling graphs: structural invariants of every preset device,
+// plus schema checks for the device JSONs committed under benchmarks/.
 #include <algorithm>
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "device/json.h"
 #include "device/presets.h"
 
 namespace olsq2::device {
@@ -148,6 +153,64 @@ TEST(Device, EdgesAtIsConsistent) {
     }
     EXPECT_EQ(dev.edges_at(p).size(), dev.neighbors(p).size());
   }
+}
+
+// --- Committed device JSONs (benchmarks/*.device.json) -------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The two large-device JSONs feeding the subarchitecture benchmarks must
+// parse under the strict schema, match their preset generators edge-for-edge
+// (same canonical edge set, same qubit count), and survive a serialization
+// round-trip.
+void check_json_matches_preset(const std::string& file, const Device& preset) {
+  const std::string path = std::string(OLSQ2_BENCHMARK_DIR) + "/" + file;
+  const DeviceSpec spec = device_from_json(slurp(path));
+  check_device(spec.device);
+  EXPECT_GT(spec.swap_duration, 0) << file;
+  EXPECT_EQ(spec.device.num_qubits(), preset.num_qubits()) << file;
+  std::set<std::pair<int, int>> want;
+  for (const Edge& e : preset.edges()) {
+    want.insert(std::minmax(e.p0, e.p1));
+  }
+  std::set<std::pair<int, int>> got;
+  for (const Edge& e : spec.device.edges()) {
+    got.insert(std::minmax(e.p0, e.p1));
+  }
+  EXPECT_EQ(got, want) << file << ": edge set diverged from the preset";
+  const DeviceSpec again =
+      device_from_json(device_to_json(spec.device, spec.swap_duration));
+  EXPECT_EQ(again.device.num_qubits(), spec.device.num_qubits());
+  EXPECT_EQ(again.device.num_edges(), spec.device.num_edges());
+  EXPECT_EQ(again.swap_duration, spec.swap_duration);
+}
+
+TEST(DeviceJson, HeavyHex127MatchesEagle) {
+  check_json_matches_preset("heavyhex127.device.json", ibm_eagle127());
+}
+
+TEST(DeviceJson, Grid8x8MatchesPreset) {
+  check_json_matches_preset("grid8x8.device.json", grid(8, 8));
+}
+
+TEST(PresetByName, ResolvesAllSpecs) {
+  EXPECT_EQ(preset_by_name("grid:2x3").num_qubits(), 6);
+  EXPECT_EQ(preset_by_name("heavyhex:3x5").num_qubits(),
+            heavy_hex(3, 5).num_qubits());
+  EXPECT_EQ(preset_by_name("eagle127").num_qubits(), 127);
+  EXPECT_EQ(preset_by_name("sycamore54").num_qubits(), 54);
+  EXPECT_EQ(preset_by_name("guadalupe16").num_qubits(), 16);
+  EXPECT_EQ(preset_by_name("tokyo20").num_qubits(), 20);
+  EXPECT_EQ(preset_by_name("ibm_qx2").num_qubits(), 5);
+  EXPECT_EQ(preset_by_name("rigetti_aspen4").num_qubits(), 16);
+  EXPECT_THROW(preset_by_name("nonsuch"), std::runtime_error);
+  EXPECT_THROW(preset_by_name("grid:banana"), std::runtime_error);
 }
 
 TEST(Edge, OtherEndpoint) {

@@ -60,6 +60,22 @@ TEST(FuzzGenerator, InstancesAreWellFormed) {
   }
 }
 
+TEST(FuzzGenerator, NamedDeviceTargetsPresetWithRegionWorkload) {
+  fuzz::GeneratorOptions options;
+  options.named_device = "eagle127";
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const fuzz::Instance inst = fuzz::random_instance(seed, options);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_EQ(inst.device.num_qubits(), 127);
+    EXPECT_LE(inst.circuit.num_qubits(), 5);
+    EXPECT_GE(inst.circuit.num_gates(), inst.circuit.num_qubits());
+    // Reproducible: same seed, same instance.
+    const fuzz::Instance again = fuzz::random_instance(seed, options);
+    EXPECT_EQ(inst.circuit, again.circuit);
+    EXPECT_EQ(inst.swap_duration, again.swap_duration);
+  }
+}
+
 TEST(FuzzGenerator, CircuitsRoundTripThroughQasm) {
   for (std::uint64_t seed = 0; seed < 50; ++seed) {
     const fuzz::Instance inst = fuzz::random_instance(seed);
